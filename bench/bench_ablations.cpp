@@ -1,0 +1,112 @@
+// Ablation benches for the design decisions DESIGN.md calls out:
+//
+//   D1 — hybrid allocation solved by binary search over candidate
+//        makespans vs exhaustive enumeration: identical objective values,
+//        orders-of-magnitude speed difference at scale.
+//   D2 — AUC discretization with capacity-aware subdivision vs a naive
+//        fixed coarse slicing: fidelity (Pearson vs the user curve) and
+//        worst-case per-point burst.
+//   D4 is covered inside bench_fig8_scalability (actor multiplexing).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "flow/rate_functions.h"
+#include "flow/strategy.h"
+#include "sched/allocation.h"
+
+namespace {
+
+using namespace simdc;
+
+double WallMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations — DESIGN.md decisions D1 and D2");
+
+  // ---- D1: allocation solver ----
+  std::printf("\nD1. Hybrid allocation: binary search vs brute force\n");
+  std::printf("%12s %14s %16s %12s %12s\n", "devices", "T (search)",
+              "T (brute force)", "ms (search)", "ms (brute)");
+  bench::PrintRule();
+  for (const std::size_t n : {10u, 20u, 40u, 80u}) {
+    sched::GradeAllocationInput high;
+    high.total_devices = n;
+    high.benchmarking = 1;
+    high.logical_bundles = 64;
+    high.bundles_per_device = 8;
+    high.phones = 4;
+    high.alpha_s = 2.4;
+    high.beta_s = 1.6;
+    high.lambda_s = 15.0;
+    auto low = high;
+    low.bundles_per_device = 4;
+    low.alpha_s = 5.2;
+    low.beta_s = 3.8;
+    low.lambda_s = 21.0;
+    const std::vector<sched::GradeAllocationInput> grades = {high, low};
+
+    double t_fast = 0.0, t_slow = 0.0;
+    const double ms_fast = WallMs([&] {
+      auto result = sched::SolveHybridAllocation(grades);
+      t_fast = result.ok() ? result->total_seconds : -1.0;
+    });
+    const double ms_slow = WallMs([&] {
+      auto result = sched::BruteForceAllocation(grades);
+      t_slow = result.ok() ? result->total_seconds : -1.0;
+    });
+    std::printf("%12zu %14.2f %16.2f %12.3f %12.3f\n", n, t_fast, t_slow,
+                ms_fast, ms_slow);
+    if (std::abs(t_fast - t_slow) > 1e-6) {
+      std::fprintf(stderr, "MISMATCH at n=%zu\n", n);
+      return 1;
+    }
+  }
+  std::printf("(brute force is O(N^2) in total devices; the search stays "
+              "sub-millisecond\n at 10,000+ devices — see sched_test's "
+              "LargeScaleRunsFast.)\n");
+
+  // ---- D2: discretization fidelity ----
+  std::printf("\nD2. AUC discretization: adaptive vs fixed 10-slot slicing\n");
+  std::printf("%-12s %18s %18s %20s\n", "curve", "r (adaptive)", "r (10 slots)",
+              "peak burst (10 slots)");
+  bench::PrintRule();
+  const std::size_t total = 20000;
+  for (const auto& curve :
+       {flow::NormalCurve(0.5), flow::SinPlusOne(), flow::TenPowT()}) {
+    auto correlate = [&](const std::vector<flow::SlotPlan>& plan) {
+      std::vector<double> counts, values;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        counts.push_back(static_cast<double>(plan[i].count));
+        const double t = curve.domain_lo +
+                         curve.domain_width() * (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(plan.size());
+        values.push_back(curve(t));
+      }
+      return PearsonCorrelation(counts, values);
+    };
+    const auto adaptive =
+        flow::DiscretizeRate(curve, Minutes(1.0), total, 700.0);
+    const auto coarse = flow::DiscretizeRate(curve, Minutes(1.0), total, 700.0,
+                                             /*min_slots=*/10,
+                                             /*max_slots=*/10);
+    std::size_t coarse_peak = 0;
+    for (const auto& slot : coarse) coarse_peak = std::max(coarse_peak, slot.count);
+    std::printf("%-12s %18.4f %18.4f %17zu msg\n", curve.name.c_str(),
+                correlate(adaptive), correlate(coarse), coarse_peak);
+  }
+  std::printf(
+      "(the fixed slicing keeps curve *correlation* but violates the "
+      "per-point\n capacity limit — its peak slot far exceeds 700 messages, "
+      "so the cloud\n would see a multi-second burst smear instead of the "
+      "user's curve.)\n");
+  return 0;
+}

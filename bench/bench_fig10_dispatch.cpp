@@ -1,0 +1,141 @@
+// Reproduces Fig. 10: "Rule-based dispatch strategies."
+//
+//   (a)/(b) specific time-point dispatching: user-defined transmission
+//   amounts at distinct time points; the cloud receives the messages
+//   spread over "the designated time point and subsequent certain
+//   intervals" because of the ~700 msg/s capacity limit.
+//   (c)/(d) specific time-interval dispatching: a right-tailed-normal-like
+//   N(0,1) curve scaled to a 1-minute interval and 10,000 messages; the
+//   discretized per-second send volumes track the curve and the cloud's
+//   cumulative count follows its integral.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "flow/device_flow.h"
+#include "flow/rate_functions.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using namespace simdc;
+
+class CountingEndpoint final : public flow::CloudEndpoint {
+ public:
+  void Deliver(const flow::Message&, SimTime arrival) override {
+    arrivals.push_back(arrival);
+  }
+  std::vector<SimTime> arrivals;
+
+  std::vector<std::size_t> PerSecond(std::size_t seconds) const {
+    std::vector<std::size_t> counts(seconds, 0);
+    for (const SimTime at : arrivals) {
+      const auto s = static_cast<std::size_t>(ToSeconds(at));
+      if (s < seconds) ++counts[s];
+    }
+    return counts;
+  }
+};
+
+void FillShelf(flow::DeviceFlow& flow, TaskId task, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    flow::Message m;
+    m.id = MessageId(i + 1);
+    m.task = task;
+    m.device = DeviceId(i);
+    if (!flow.OnMessage(std::move(m)).ok()) std::abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 10 — rule-based dispatch strategies");
+
+  // ---- (a)/(b): specific time-point dispatching ----
+  {
+    sim::EventLoop loop;
+    flow::DeviceFlow device_flow(loop);
+    CountingEndpoint cloud;
+    flow::TimePointDispatch strategy;
+    strategy.points = {{Seconds(5), true, 600, 0.0, 0},
+                       {Seconds(20), true, 1400, 0.0, 0},
+                       {Seconds(40), true, 1000, 0.0, 0}};
+    if (!device_flow.ConfigureTask(TaskId(1), strategy, &cloud).ok()) return 1;
+    FillShelf(device_flow, TaskId(1), 3000);
+    if (!device_flow.OnRoundEnd(TaskId(1), 0).ok()) return 1;
+    loop.Run();
+
+    std::printf("\n(a) DeviceFlow dispatch amounts at time points\n");
+    const auto& batches =
+        device_flow.FindDispatcher(TaskId(1))->stats().batches;
+    for (const auto& [when, amount] : batches) {
+      std::printf("  t=%4.0f s: dispatched %zu messages\n", ToSeconds(when),
+                  amount);
+    }
+    std::printf("\n(b) Cloud-side cumulative received messages\n");
+    const auto per_second = cloud.PerSecond(60);
+    std::size_t cumulative = 0;
+    for (std::size_t s = 0; s < per_second.size(); ++s) {
+      cumulative += per_second[s];
+      if (per_second[s] > 0) {
+        std::printf("  t=%4zu s: +%4zu (cumulative %5zu)\n", s,
+                    per_second[s], cumulative);
+      }
+    }
+    // The 1400-message batch takes 2 s at 700 msg/s: verify the spread.
+    const bool spread = per_second[20] <= 701 && per_second[21] > 0;
+    std::printf("  capacity limit spreads the 1400-message point over >1 s: "
+                "%s\n",
+                spread ? "yes" : "NO");
+    if (!spread || cumulative != 3000) return 1;
+  }
+
+  // ---- (c)/(d): specific time-interval dispatching ----
+  {
+    sim::EventLoop loop;
+    flow::DeviceFlow device_flow(loop);
+    CountingEndpoint cloud;
+    flow::TimeIntervalDispatch strategy;
+    strategy.rate = flow::NormalCurve(1.0);  // σ=1 curve, domain [-4, 4]
+    strategy.interval = Minutes(1.0);        // scaled to 1 minute
+    if (!device_flow.ConfigureTask(TaskId(2), strategy, &cloud).ok()) return 1;
+    FillShelf(device_flow, TaskId(2), 10000);  // volume 10000 (paper's setup)
+    if (!device_flow.OnRoundEnd(TaskId(2), 0).ok()) return 1;
+    loop.Run();
+
+    std::printf("\n(c) Discretized per-second send volumes vs traffic "
+                "function\n");
+    const auto per_second = cloud.PerSecond(61);
+    const auto curve = strategy.rate;
+    std::vector<double> actual, expected;
+    for (std::size_t s = 0; s < 60; ++s) {
+      actual.push_back(static_cast<double>(per_second[s]));
+      const double t =
+          curve.domain_lo +
+          curve.domain_width() * (static_cast<double>(s) + 0.5) / 60.0;
+      expected.push_back(curve(t));
+    }
+    std::printf("  sends  %s\n", bench::Sparkline(actual).c_str());
+    std::printf("  f(t)   %s\n", bench::Sparkline(expected).c_str());
+    const double r = PearsonCorrelation(actual, expected);
+    std::printf("  Pearson(actual sends, traffic function) = %.4f\n", r);
+
+    std::printf("\n(d) Cloud-side cumulative received messages\n");
+    std::size_t cumulative = 0;
+    for (std::size_t s = 0; s < per_second.size(); s += 5) {
+      std::size_t upto = 0;
+      for (std::size_t k = 0; k <= s && k < per_second.size(); ++k) {
+        upto += per_second[k];
+      }
+      cumulative = upto;
+      std::printf("  t=%4zu s: cumulative %5zu\n", s, cumulative);
+    }
+    std::printf(
+        "\nShape checks vs paper: dispatch tracks the user curve (r > 0.97: "
+        "%s)\nand all 10000 messages arrive within the interval.\n",
+        r > 0.97 ? "yes" : "NO");
+    if (r <= 0.97) return 1;
+  }
+  return 0;
+}

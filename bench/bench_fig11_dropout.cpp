@@ -1,0 +1,122 @@
+// Reproduces Fig. 11: "The impact of device dropout on different data
+// distribution."
+//
+// §VI-C2: 1,000 devices in the real-time dispatching scenario with
+// dropout probabilities {0, 0.3, 0.7, 0.9} under a timed (scheduled)
+// aggregation strategy.
+//   (a) identically distributed data: test accuracy differences across
+//       dropout levels are negligible;
+//   (b) differentially distributed data (70% of devices positive-heavy,
+//       30% negative-heavy): as dropout grows, convergence becomes
+//       unstable and accuracy in the convergence phase decreases.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/fl_engine.h"
+#include "data/synth_avazu.h"
+
+namespace {
+
+using namespace simdc;
+
+core::FlRunResult RunWithDropout(const data::FederatedDataset& dataset,
+                                 double dropout, ThreadPool& pool) {
+  sim::EventLoop loop;
+  core::FlExperimentConfig config;
+  config.rounds = 10;
+  config.train.learning_rate = 0.1;
+  config.train.epochs = 4;
+  config.trigger = cloud::AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(60.0);
+  config.strategy = flow::RealtimeAccumulated{{1}, dropout};
+  config.seed = 23;
+  core::FlEngine engine(loop, dataset, config, &pool);
+  return engine.Run();
+}
+
+double Volatility(const core::FlRunResult& result) {
+  RunningStats deltas;
+  for (std::size_t i = 4; i < result.rounds.size(); ++i) {
+    deltas.Add(std::abs(result.rounds[i].test_accuracy -
+                        result.rounds[i - 1].test_accuracy));
+  }
+  return deltas.mean();
+}
+
+void PrintBlock(const char* title,
+                const std::vector<core::FlRunResult>& results,
+                const double* dropouts) {
+  std::printf("\n%s\n", title);
+  std::printf("%8s", "Round");
+  for (int d = 0; d < 4; ++d) std::printf("  p=%.1f  ", dropouts[d]);
+  std::printf("\n");
+  simdc::bench::PrintRule();
+  for (std::size_t round = 0; round < 10; ++round) {
+    std::printf("%8zu", round + 1);
+    for (const auto& result : results) {
+      if (round < result.rounds.size()) {
+        std::printf("  %.4f ", result.rounds[round].test_accuracy);
+      } else {
+        std::printf("  %7s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 11 — impact of device dropout under IID vs non-IID data\n"
+      "(1000 devices, real-time dispatching, timed aggregation)");
+
+  ThreadPool pool(0);
+  const double dropouts[] = {0.0, 0.3, 0.7, 0.9};
+
+  data::SynthConfig data_config;
+  data_config.num_devices = 1000;
+  data_config.records_per_device_mean = 12;
+  data_config.num_test_devices = 150;  // large pool: ~0.05% per flipped
+                                       // prediction, so curves are smooth
+  data_config.hash_dim = 1u << 13;
+  data_config.distribution = data::LabelDistribution::kPolarized;
+  data_config.polarized_positive_fraction = 0.7;  // Fig. 11b's 70/30 split
+  data_config.seed = 77;
+  const auto noniid = data::GenerateSyntheticAvazu(data_config);
+  const auto iid = data::RepartitionIid(noniid, 99);
+
+  std::vector<core::FlRunResult> iid_results, noniid_results;
+  for (const double p : dropouts) {
+    iid_results.push_back(RunWithDropout(iid, p, pool));
+  }
+  for (const double p : dropouts) {
+    noniid_results.push_back(RunWithDropout(noniid, p, pool));
+  }
+
+  PrintBlock("(a) Identically distributed — test accuracy per round",
+             iid_results, dropouts);
+  PrintBlock("(b) Differentially distributed (70% pos-heavy / 30% "
+             "neg-heavy) — test accuracy per round",
+             noniid_results, dropouts);
+
+  bench::PrintRule();
+  const double iid_gap =
+      std::abs(iid_results[0].rounds.back().test_accuracy -
+               iid_results[3].rounds.back().test_accuracy);
+  const double vol_clean = Volatility(noniid_results[0]);
+  const double vol_heavy = Volatility(noniid_results[3]);
+  std::printf(
+      "IID: |ACC(p=0) - ACC(p=0.9)| at round 10 = %.4f (negligible: %s)\n",
+      iid_gap, iid_gap < 0.05 ? "yes" : "NO");
+  std::printf(
+      "Non-IID: convergence volatility grows with dropout: %.4f (p=0) vs "
+      "%.4f (p=0.9): %s\n",
+      vol_clean, vol_heavy, vol_heavy > vol_clean ? "yes" : "NO");
+  const bool reproduced = iid_gap < 0.05 && vol_heavy > vol_clean;
+  std::printf("Fig. 11 shape: %s\n",
+              reproduced ? "REPRODUCED" : "NOT reproduced");
+  return reproduced ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 5: "Measurement of CPU and memory usage during the first
+// three rounds."
+//
+// One benchmarking device runs three training rounds; PhoneMgr samples it
+// through ADB at 1 Hz. Performance measurement starts with the APK launch
+// and the gaps while the device waits for global aggregation correspond to
+// the dashed segments in the paper's figure (we print them as "(waiting)").
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/database.h"
+#include "device/fleet.h"
+#include "phonemgr/phone_mgr.h"
+#include "sim/event_loop.h"
+
+int main() {
+  using namespace simdc;
+  bench::PrintHeader(
+      "Fig. 5 — CPU and memory usage of one benchmarking device, first "
+      "three rounds");
+
+  sim::EventLoop loop;
+  device::PhoneMgr mgr(loop);
+  mgr.RegisterFleet(device::MakeLocalFleet(1, 0, 7, 0));
+  cloud::MetricsDatabase db;
+  mgr.set_metrics_sink(&db);
+
+  device::PhoneJob job;
+  job.task = TaskId(1);
+  job.grade = device::DeviceGrade::kHigh;
+  job.benchmarking_phones = 1;
+  job.rounds = 3;
+  job.startup_s = 10.0;
+  job.round_duration_s = 30.0;       // ~30 s of training per round
+  job.aggregation_wait_s = 12.0;     // wait for global aggregation
+  job.sample_period = Seconds(1.0);
+  auto handle = mgr.SubmitJob(job);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "%s\n", handle.error().ToString().c_str());
+    return 1;
+  }
+  loop.Run();
+
+  const auto samples = db.QueryPhone(TaskId(1), handle->benchmarking[0]);
+  std::printf("%8s %10s %12s  %s\n", "t (s)", "CPU (%)", "Mem (MB)", "stage");
+  bench::PrintRule();
+  std::vector<double> cpu_series, mem_series;
+  for (const auto& sample : samples) {
+    const bool active = sample.stage == device::ApkStage::kTraining ||
+                        sample.stage == device::ApkStage::kApkLaunch;
+    if (sample.stage == device::ApkStage::kNoApk) continue;
+    if (active) {
+      std::printf("%8.0f %10.1f %12.1f  %s\n", ToSeconds(sample.time),
+                  sample.cpu_percent,
+                  static_cast<double>(sample.memory_kb) / 1024.0,
+                  ToString(sample.stage));
+      cpu_series.push_back(sample.cpu_percent);
+      mem_series.push_back(static_cast<double>(sample.memory_kb) / 1024.0);
+    } else if (sample.stage == device::ApkStage::kPostTraining) {
+      // Fig. 5's dashed gray segments: no data recorded while waiting.
+      std::printf("%8.0f %10s %12s  (waiting for aggregation)\n",
+                  ToSeconds(sample.time), "-", "-");
+    }
+  }
+  bench::PrintRule();
+  std::printf("CPU    %s\n", bench::Sparkline(cpu_series).c_str());
+  std::printf("Memory %s\n", bench::Sparkline(mem_series).c_str());
+  std::printf(
+      "Shape checks vs paper: CPU oscillates within ~2-14%% during training;\n"
+      "memory climbs from ~25 MB to ~45 MB within each round; no data in\n"
+      "the aggregation-wait gaps.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks for SimDC's hot kernels: local LR
+// training (both operators), FedAvg accumulation, model serialization,
+// AUC discretization, event-loop throughput, and synthetic data
+// generation. These quantify the per-device costs that the Fig. 7/8 cost
+// models parameterize.
+#include <benchmark/benchmark.h>
+
+#include "cloud/storage.h"
+#include "data/synth_avazu.h"
+#include "flow/rate_functions.h"
+#include "flow/strategy.h"
+#include "ml/fedavg.h"
+#include "ml/operators.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using namespace simdc;
+
+const data::FederatedDataset& Shards() {
+  static const auto dataset = [] {
+    data::SynthConfig config;
+    config.num_devices = 64;
+    config.records_per_device_mean = 20;
+    config.hash_dim = 1u << 14;
+    config.seed = 5;
+    return data::GenerateSyntheticAvazu(config);
+  }();
+  return dataset;
+}
+
+void BM_LocalTrainServer(benchmark::State& state) {
+  const auto& dataset = Shards();
+  ml::ServerLrOperator op;
+  ml::TrainConfig config;
+  config.epochs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::LrModel model(dataset.hash_dim);
+    op.Train(model, dataset.devices[0].examples, config);
+    benchmark::DoNotOptimize(model.bias());
+  }
+}
+BENCHMARK(BM_LocalTrainServer)->Arg(1)->Arg(10);
+
+void BM_LocalTrainMobile(benchmark::State& state) {
+  const auto& dataset = Shards();
+  ml::MobileLrOperator op;
+  ml::TrainConfig config;
+  config.epochs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::LrModel model(dataset.hash_dim);
+    op.Train(model, dataset.devices[0].examples, config);
+    benchmark::DoNotOptimize(model.bias());
+  }
+}
+BENCHMARK(BM_LocalTrainMobile)->Arg(1)->Arg(10);
+
+void BM_FedAvgAccumulate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  ml::LrModel model(1u << 14);
+  for (auto _ : state) {
+    ml::FedAvgAggregator aggregator(1u << 14);
+    for (std::size_t c = 0; c < clients; ++c) {
+      benchmark::DoNotOptimize(aggregator.Add(model, 10).ok());
+    }
+    benchmark::DoNotOptimize(aggregator.Aggregate().ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(clients));
+}
+BENCHMARK(BM_FedAvgAccumulate)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ModelSerializeRoundTrip(benchmark::State& state) {
+  ml::LrModel model(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = model.ToBytes();
+    auto restored = ml::LrModel::FromBytes(bytes);
+    benchmark::DoNotOptimize(restored.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.SerializedSize()));
+}
+BENCHMARK(BM_ModelSerializeRoundTrip)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_BlobStorePutGet(benchmark::State& state) {
+  cloud::BlobStore store;
+  const std::vector<std::byte> payload(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const BlobId id = store.Put(payload);
+    benchmark::DoNotOptimize(store.Get(id).ok());
+    benchmark::DoNotOptimize(store.Delete(id).ok());
+  }
+}
+BENCHMARK(BM_BlobStorePutGet)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_DiscretizeRate(benchmark::State& state) {
+  const auto curve = flow::NormalCurve(1.0);
+  const auto total = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto plan = flow::DiscretizeRate(curve, Minutes(1.0), total, 700.0);
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_DiscretizeRate)->Arg(1000)->Arg(100000);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      loop.ScheduleAt(static_cast<SimTime>(i), [&fired] { ++fired; });
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventLoopThroughput)->Arg(1024)->Arg(65536);
+
+void BM_SyntheticDataGeneration(benchmark::State& state) {
+  data::SynthConfig config;
+  config.num_devices = static_cast<std::size_t>(state.range(0));
+  config.records_per_device_mean = 20;
+  config.hash_dim = 1u << 14;
+  for (auto _ : state) {
+    const auto dataset = data::GenerateSyntheticAvazu(config);
+    benchmark::DoNotOptimize(dataset.TotalExamples());
+  }
+}
+BENCHMARK(BM_SyntheticDataGeneration)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

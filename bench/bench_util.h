@@ -1,0 +1,41 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation section (§VI), printing the same rows/series. All benches run
+// on the virtual clock with fixed seeds, so output is deterministic.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simdc::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// Renders a compact ASCII sparkline of a series (for figure-style output).
+inline std::string Sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double lo = values.empty() ? 0.0 : values[0];
+  double hi = lo;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : values) {
+    const double norm = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    out += kLevels[static_cast<int>(norm * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace simdc::bench

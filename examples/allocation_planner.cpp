@@ -1,0 +1,100 @@
+// Allocation planner: interactive-style "what if" tool for the hybrid
+// allocation optimizer (paper §IV-B).
+//
+// Scenario: a platform operator wants to know, before submitting a task,
+// how many simulated devices should run on the server cluster vs the
+// physical phone cluster, and what buying more phones or more cluster
+// capacity would do to the makespan. This example sweeps both axes and
+// prints the resulting plans — the kind of capacity planning the paper's
+// optimization enables.
+//
+// Build & run:  ./build/examples/allocation_planner
+#include <cstdio>
+
+#include "device/grade.h"
+#include "sched/allocation.h"
+
+namespace {
+
+using namespace simdc;
+
+sched::GradeAllocationInput MakeInput(const device::GradeSpec& spec,
+                                      std::size_t devices,
+                                      std::size_t bundles,
+                                      std::size_t phones) {
+  sched::GradeAllocationInput input;
+  input.total_devices = devices;
+  input.benchmarking = 5;
+  input.logical_bundles = bundles;
+  input.bundles_per_device = spec.unit_bundles;
+  input.phones = phones;
+  input.alpha_s = spec.alpha_s;
+  input.beta_s = spec.beta_s;
+  input.lambda_s = spec.lambda_s;
+  return input;
+}
+
+}  // namespace
+
+int main() {
+  const auto high = device::HighGradeSpec();
+  const auto low = device::LowGradeSpec();
+
+  std::printf("Hybrid allocation planner — 500 High + 500 Low devices\n\n");
+
+  // Axis 1: growing the logical cluster.
+  std::printf("A. Scaling the logical cluster (phones fixed at 12 High / 8 "
+              "Low):\n");
+  std::printf("%18s %14s %16s %16s\n", "bundles/grade", "makespan (s)",
+              "High on logical", "Low on logical");
+  for (const std::size_t bundles : {40u, 80u, 160u, 320u, 640u}) {
+    const std::vector<sched::GradeAllocationInput> grades = {
+        MakeInput(high, 500, bundles, 12), MakeInput(low, 500, bundles, 8)};
+    const auto plan = sched::SolveHybridAllocation(grades);
+    if (!plan.ok()) {
+      std::printf("%18zu %14s\n", bundles, "infeasible");
+      continue;
+    }
+    std::printf("%18zu %14.1f %16zu %16zu\n", bundles, plan->total_seconds,
+                plan->logical_devices[0], plan->logical_devices[1]);
+  }
+
+  // Axis 2: growing the phone cluster.
+  std::printf("\nB. Scaling the phone cluster (bundles fixed at 100/grade):\n");
+  std::printf("%18s %14s %16s %16s\n", "phones/grade", "makespan (s)",
+              "High on phones", "Low on phones");
+  for (const std::size_t phones : {4u, 8u, 16u, 32u, 64u}) {
+    const std::vector<sched::GradeAllocationInput> grades = {
+        MakeInput(high, 500, 100, phones), MakeInput(low, 500, 100, phones)};
+    const auto plan = sched::SolveHybridAllocation(grades);
+    if (!plan.ok()) {
+      std::printf("%18zu %14s\n", phones, "infeasible");
+      continue;
+    }
+    std::printf("%18zu %14.1f %16zu %16zu\n", phones, plan->total_seconds,
+                495 - plan->logical_devices[0],
+                495 - plan->logical_devices[1]);
+  }
+
+  // Axis 3: the paper's five fixed ratios vs the optimum, at one config.
+  std::printf("\nC. Fixed allocation ratios vs optimizer (100 bundles, 12/8 "
+              "phones):\n");
+  const std::vector<sched::GradeAllocationInput> grades = {
+      MakeInput(high, 500, 100, 12), MakeInput(low, 500, 100, 8)};
+  for (const double ratio : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const auto x = sched::FixedRatioAllocation(grades, ratio);
+    std::printf("  %3.0f%% logical: %8.1f s\n", ratio * 100.0,
+                sched::PredictMakespan(grades, x));
+  }
+  const auto best = sched::SolveHybridAllocation(grades);
+  if (best.ok()) {
+    std::printf("  optimizer   : %8.1f s  (x_High=%zu, x_Low=%zu)\n",
+                best->total_seconds, best->logical_devices[0],
+                best->logical_devices[1]);
+  }
+  std::printf(
+      "\nReading the output: adding cluster bundles helps until the phone\n"
+      "side becomes the bottleneck and vice versa; the optimizer always\n"
+      "balances the two queues (Tl ~ Tp) — exactly Fig. 7's red line.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Dropout study: how device dropout interacts with data heterogeneity.
+//
+// Scenario (paper §VI-C2 / Fig. 11): an algorithm team is deciding whether
+// their CTR model can tolerate flaky connectivity. We run the same
+// LR+FedAvg workload on an IID and a polarized non-IID partition of the
+// synthetic Avazu data while sweeping the per-message dropout probability,
+// then report final accuracy and convergence stability. The takeaway the
+// paper stresses: dropout is harmless under IID data but destabilizes
+// non-IID training, so a realistic simulator must model it.
+//
+// Build & run:  ./build/examples/dropout_study
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/fl_engine.h"
+#include "data/synth_avazu.h"
+
+namespace {
+
+using namespace simdc;
+
+struct Outcome {
+  double final_accuracy = 0.0;
+  double volatility = 0.0;  // mean |ACC_t - ACC_{t-1}| in the tail
+  std::size_t mean_clients = 0;
+};
+
+Outcome Run(const data::FederatedDataset& dataset, double dropout,
+            ThreadPool& pool) {
+  sim::EventLoop loop;
+  core::FlExperimentConfig config;
+  config.rounds = 10;
+  config.train.learning_rate = 0.1;
+  config.train.epochs = 4;
+  config.trigger = cloud::AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(45.0);
+  config.strategy = flow::RealtimeAccumulated{{1}, dropout};
+  config.seed = 4;
+  core::FlEngine engine(loop, dataset, config, &pool);
+  const auto result = engine.Run();
+
+  Outcome outcome;
+  outcome.final_accuracy = result.rounds.back().test_accuracy;
+  RunningStats deltas, clients;
+  for (std::size_t i = 1; i < result.rounds.size(); ++i) {
+    if (i >= 4) {
+      deltas.Add(std::abs(result.rounds[i].test_accuracy -
+                          result.rounds[i - 1].test_accuracy));
+    }
+    clients.Add(static_cast<double>(result.rounds[i].clients));
+  }
+  outcome.volatility = deltas.mean();
+  outcome.mean_clients = static_cast<std::size_t>(clients.mean());
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool(0);
+
+  data::SynthConfig config;
+  config.num_devices = 400;
+  config.records_per_device_mean = 20;
+  config.hash_dim = 1u << 13;
+  config.distribution = data::LabelDistribution::kPolarized;
+  config.polarized_positive_fraction = 0.7;
+  config.seed = 1;
+  const auto noniid = data::GenerateSyntheticAvazu(config);
+  const auto iid = data::RepartitionIid(noniid, 2);
+
+  std::printf("Dropout tolerance study: LR + FedAvg, 400 devices, 10 "
+              "rounds, timed aggregation\n\n");
+  std::printf("%-10s %-8s %12s %12s %14s\n", "Partition", "dropout",
+              "final ACC", "volatility", "avg clients");
+  std::printf("------------------------------------------------------------\n");
+  for (const auto* name : {"IID", "non-IID"}) {
+    const auto& dataset = std::string(name) == "IID" ? iid : noniid;
+    for (const double dropout : {0.0, 0.3, 0.7, 0.9}) {
+      const Outcome outcome = Run(dataset, dropout, pool);
+      std::printf("%-10s %-8.1f %12.4f %12.4f %14zu\n", name, dropout,
+                  outcome.final_accuracy, outcome.volatility,
+                  outcome.mean_clients);
+    }
+    std::printf("------------------------------------------------------------\n");
+  }
+  std::printf(
+      "\nReading the table: on IID data the accuracy column barely moves\n"
+      "with dropout; on non-IID data volatility climbs with dropout and\n"
+      "the convergence-phase accuracy suffers — matching the paper's\n"
+      "conclusion that dropout simulation is essential for evaluating\n"
+      "device-cloud algorithms on heterogeneous data.\n");
+  return 0;
+}

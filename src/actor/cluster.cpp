@@ -1,0 +1,153 @@
+#include "actor/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.h"
+
+namespace simdc::actor {
+
+Actor::Actor(ActorId id, NodeId node, ResourceBundle resources,
+             ThreadPool& pool)
+    : id_(id), node_(node), resources_(resources), pool_(pool) {}
+
+std::future<void> Actor::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mailbox_.push_back(std::move(task));
+  }
+  MaybeStartDrain();
+  return future;
+}
+
+void Actor::MaybeStartDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || mailbox_.empty()) return;
+    draining_ = true;
+  }
+  // Drain the whole mailbox in one pool job; tasks submitted while draining
+  // are picked up by the same loop, preserving per-actor FIFO order.
+  pool_.Submit([this] {
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (mailbox_.empty()) {
+          draining_ = false;
+          idle_cv_.notify_all();
+          return;
+        }
+        task = std::move(mailbox_.front());
+        mailbox_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++executed_;
+      }
+    }
+  });
+}
+
+void Actor::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return mailbox_.empty() && !draining_; });
+}
+
+std::size_t Actor::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+Cluster::Cluster(std::size_t num_nodes, ResourceBundle per_node,
+                 std::size_t worker_threads)
+    : pool_(worker_threads != 0 ? worker_threads
+                                : std::max(2u, std::thread::hardware_concurrency())) {
+  SIMDC_CHECK(num_nodes > 0, "cluster needs at least one node");
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<ResourcePool>(per_node));
+  }
+}
+
+Result<PlacementGroup> Cluster::CreatePlacementGroup(
+    const std::vector<ResourceBundle>& bundles, PlacementStrategy strategy) {
+  if (bundles.empty()) {
+    return InvalidArgument("placement group needs at least one bundle");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  PlacementGroup group;
+  group.id = next_group_id_++;
+  group.allocations.reserve(bundles.size());
+
+  std::size_t cursor = 0;  // node index for SPREAD round-robin
+  for (const auto& bundle : bundles) {
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < nodes_.size(); ++attempt) {
+      const std::size_t idx =
+          strategy == PlacementStrategy::kSpread
+              ? (cursor + attempt) % nodes_.size()
+              : attempt;  // PACK always starts from node 0
+      if (nodes_[idx]->Freeze(bundle).ok()) {
+        group.allocations.push_back(
+            BundleAllocation{NodeId(idx), bundle});
+        if (strategy == PlacementStrategy::kSpread) {
+          cursor = (idx + 1) % nodes_.size();
+        }
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Roll back everything reserved so far (all-or-nothing).
+      for (const auto& alloc : group.allocations) {
+        (void)nodes_[alloc.node.value()]->Release(alloc.bundle);
+      }
+      return ResourceExhausted("cannot place bundle " + bundle.ToString() +
+                               " on any node");
+    }
+  }
+  return group;
+}
+
+Status Cluster::RemovePlacementGroup(const PlacementGroup& group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(removed_groups_.begin(), removed_groups_.end(), group.id) !=
+      removed_groups_.end()) {
+    return Status::Ok();  // idempotent
+  }
+  for (const auto& alloc : group.allocations) {
+    const Status released = nodes_[alloc.node.value()]->Release(alloc.bundle);
+    if (!released.ok()) {
+      SIMDC_LOG(kWarn, "Cluster")
+          << "release mismatch for group " << group.id << ": "
+          << released.ToString();
+    }
+  }
+  removed_groups_.push_back(group.id);
+  return Status::Ok();
+}
+
+std::unique_ptr<Actor> Cluster::CreateActor(
+    const BundleAllocation& allocation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::make_unique<Actor>(ActorId(next_actor_id_++), allocation.node,
+                                 allocation.bundle, pool_);
+}
+
+ResourceBundle Cluster::TotalCapacity() const {
+  ResourceBundle total;
+  for (const auto& node : nodes_) total += node->capacity();
+  return total;
+}
+
+ResourceBundle Cluster::TotalAvailable() const {
+  ResourceBundle total;
+  for (const auto& node : nodes_) total += node->available();
+  return total;
+}
+
+}  // namespace simdc::actor

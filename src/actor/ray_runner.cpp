@@ -1,0 +1,62 @@
+#include "actor/ray_runner.h"
+
+#include <memory>
+
+#include "common/log.h"
+
+namespace simdc::actor {
+
+Result<JobResult> RayRunner::SubmitJob(const JobSpec& spec) {
+  if (spec.num_devices == 0) {
+    return InvalidArgument("job '" + spec.label + "': num_devices == 0");
+  }
+  if (spec.num_actors == 0) {
+    return InvalidArgument("job '" + spec.label + "': num_actors == 0");
+  }
+  if (!spec.device_fn) {
+    return InvalidArgument("job '" + spec.label + "': missing device_fn");
+  }
+
+  // Reserve the placement group (all-or-nothing).
+  std::vector<ResourceBundle> bundles(spec.num_actors, spec.per_actor);
+  auto group = cluster_.CreatePlacementGroup(bundles, spec.strategy);
+  if (!group.ok()) return group.error();
+
+  // Launch one actor per bundle.
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.reserve(spec.num_actors);
+  for (const auto& alloc : group->allocations) {
+    actors.push_back(cluster_.CreateActor(alloc));
+  }
+
+  // Per-actor setup ("data download and distribution").
+  if (spec.actor_setup) {
+    for (std::size_t a = 0; a < actors.size(); ++a) {
+      actors[a]->Submit([&setup = spec.actor_setup, a] { setup(a); });
+    }
+  }
+
+  // Round-robin device distribution: actor a simulates devices
+  // a, a + A, a + 2A, ... sequentially (paper §IV-A).
+  JobResult result;
+  result.devices_per_actor.assign(actors.size(), 0);
+  for (std::size_t d = 0; d < spec.num_devices; ++d) {
+    const std::size_t a = d % actors.size();
+    actors[a]->Submit([&fn = spec.device_fn, d] { fn(d); });
+    ++result.devices_per_actor[a];
+  }
+
+  for (auto& a : actors) a->Drain();
+
+  result.devices_run = spec.num_devices;
+  result.actors_used = actors.size();
+
+  const Status removed = cluster_.RemovePlacementGroup(*group);
+  if (!removed.ok()) {
+    SIMDC_LOG(kWarn, "RayRunner") << "placement group release failed: "
+                                  << removed.ToString();
+  }
+  return result;
+}
+
+}  // namespace simdc::actor

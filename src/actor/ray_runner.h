@@ -1,0 +1,58 @@
+// Job submission for the logical simulation (the paper's "Ray Runner").
+//
+// §IV-A: "The master node (Ray Runner) is responsible for data downloading,
+// distribution, and the configuration of runtime parameters for the
+// simulated devices. Subsequently, this master node ... directly launches
+// placement groups of actors on worker nodes, with each actor sequentially
+// simulating multiple devices."
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "actor/cluster.h"
+#include "common/error.h"
+
+namespace simdc::actor {
+
+/// Specification of a logical-simulation job.
+struct JobSpec {
+  /// Number of simulated devices to run.
+  std::size_t num_devices = 0;
+  /// Number of actors (== bundles of the placement group).
+  std::size_t num_actors = 0;
+  /// Resources reserved per actor (k unit bundles of the device grade).
+  ResourceBundle per_actor;
+  PlacementStrategy strategy = PlacementStrategy::kPack;
+  /// Per-device computation; index is the device's position in [0, N).
+  std::function<void(std::size_t device_index)> device_fn;
+  /// Optional per-actor setup, e.g. "data download" (§IV-A). Runs once on
+  /// each actor before any device work.
+  std::function<void(std::size_t actor_index)> actor_setup;
+  std::string label = "job";
+};
+
+/// Outcome of a completed job.
+struct JobResult {
+  std::size_t devices_run = 0;
+  std::size_t actors_used = 0;
+  /// Devices assigned to each actor (round-robin distribution).
+  std::vector<std::size_t> devices_per_actor;
+};
+
+/// Executes JobSpecs on a Cluster: reserves a placement group, launches one
+/// actor per bundle, distributes devices round-robin, waits for completion
+/// and releases resources.
+class RayRunner {
+ public:
+  explicit RayRunner(Cluster& cluster) : cluster_(cluster) {}
+
+  Result<JobResult> SubmitJob(const JobSpec& spec);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace simdc::actor

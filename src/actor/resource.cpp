@@ -1,0 +1,95 @@
+#include "actor/resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace simdc::actor {
+
+std::string ResourceBundle::ToString() const {
+  return StrFormat("{cpu: %.2f, mem: %.2f GB, gpu: %.2f}", cpu_cores,
+                   memory_gb, gpu);
+}
+
+ResourcePool::ResourcePool(ResourceBundle capacity) : capacity_(capacity) {
+  SIMDC_CHECK(capacity.cpu_cores >= 0 && capacity.memory_gb >= 0 &&
+                  capacity.gpu >= 0,
+              "pool capacity must be non-negative");
+}
+
+Status ResourcePool::Freeze(const ResourceBundle& amount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ResourceBundle would_use = in_use_ + amount;
+  if (!capacity_.Contains(would_use)) {
+    return ResourceExhausted("freeze of " + amount.ToString() +
+                             " exceeds available " +
+                             (capacity_ - in_use_).ToString());
+  }
+  in_use_ = would_use;
+  return Status::Ok();
+}
+
+Status ResourcePool::Release(const ResourceBundle& amount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResourceBundle next = in_use_ - amount;
+  const bool over = next.cpu_cores < -1e-9 || next.memory_gb < -1e-9 ||
+                    next.gpu < -1e-9;
+  next.cpu_cores = std::max(0.0, next.cpu_cores);
+  next.memory_gb = std::max(0.0, next.memory_gb);
+  next.gpu = std::max(0.0, next.gpu);
+  in_use_ = next;
+  if (over) {
+    return FailedPrecondition("release of " + amount.ToString() +
+                              " exceeds frozen amount");
+  }
+  return Status::Ok();
+}
+
+void ResourcePool::ScaleUp(const ResourceBundle& extra) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ += extra;
+}
+
+Status ResourcePool::ScaleDown(const ResourceBundle& less) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ResourceBundle next = capacity_ - less;
+  if (next.cpu_cores < 0 || next.memory_gb < 0 || next.gpu < 0) {
+    return InvalidArgument("scale-down below zero capacity");
+  }
+  if (!next.Contains(in_use_)) {
+    return FailedPrecondition(
+        "scale-down below in-use resources; release first");
+  }
+  capacity_ = next;
+  return Status::Ok();
+}
+
+ResourceBundle ResourcePool::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+ResourceBundle ResourcePool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ - in_use_;
+}
+
+ResourceBundle ResourcePool::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+std::size_t ResourcePool::MaxUnitsAvailable(const ResourceBundle& unit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ResourceBundle free = capacity_ - in_use_;
+  double units = std::numeric_limits<double>::infinity();
+  if (unit.cpu_cores > 0) units = std::min(units, free.cpu_cores / unit.cpu_cores);
+  if (unit.memory_gb > 0) units = std::min(units, free.memory_gb / unit.memory_gb);
+  if (unit.gpu > 0) units = std::min(units, free.gpu / unit.gpu);
+  if (std::isinf(units)) return 0;  // zero unit: undefined, treat as none
+  return units < 0 ? 0 : static_cast<std::size_t>(units + 1e-9);
+}
+
+}  // namespace simdc::actor

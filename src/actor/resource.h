@@ -1,0 +1,105 @@
+// Resource bundles and pools.
+//
+// The paper (§IV-A, §IV-B) defines a "unit resource bundle" — e.g.
+// {CPU: 1 core, memory: 1 GB} — as the quantum of logical-simulation
+// capacity; a simulated High-grade device needs k such units (k=8 in the
+// paper's example, 4 cores + 12 GB in the experiments). The Resource
+// Manager queries, freezes and releases these bundles.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+
+namespace simdc::actor {
+
+/// A bag of resources. All fields are non-negative.
+struct ResourceBundle {
+  double cpu_cores = 0.0;
+  double memory_gb = 0.0;
+  double gpu = 0.0;
+
+  constexpr ResourceBundle() = default;
+  constexpr ResourceBundle(double cpu, double mem, double gpu_units = 0.0)
+      : cpu_cores(cpu), memory_gb(mem), gpu(gpu_units) {}
+
+  /// True when every component of `other` fits within this bundle.
+  constexpr bool Contains(const ResourceBundle& other) const {
+    return cpu_cores >= other.cpu_cores && memory_gb >= other.memory_gb &&
+           gpu >= other.gpu;
+  }
+
+  constexpr bool IsZero() const {
+    return cpu_cores == 0.0 && memory_gb == 0.0 && gpu == 0.0;
+  }
+
+  ResourceBundle& operator+=(const ResourceBundle& other) {
+    cpu_cores += other.cpu_cores;
+    memory_gb += other.memory_gb;
+    gpu += other.gpu;
+    return *this;
+  }
+  ResourceBundle& operator-=(const ResourceBundle& other) {
+    cpu_cores -= other.cpu_cores;
+    memory_gb -= other.memory_gb;
+    gpu -= other.gpu;
+    return *this;
+  }
+  friend ResourceBundle operator+(ResourceBundle a, const ResourceBundle& b) {
+    return a += b;
+  }
+  friend ResourceBundle operator-(ResourceBundle a, const ResourceBundle& b) {
+    return a -= b;
+  }
+  friend ResourceBundle operator*(ResourceBundle a, double k) {
+    a.cpu_cores *= k;
+    a.memory_gb *= k;
+    a.gpu *= k;
+    return a;
+  }
+  friend constexpr bool operator==(const ResourceBundle& a,
+                                   const ResourceBundle& b) {
+    return a.cpu_cores == b.cpu_cores && a.memory_gb == b.memory_gb &&
+           a.gpu == b.gpu;
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe pool of fungible resources with freeze/release semantics
+/// (paper §III-B, Resource Manager). "Freezing" reserves capacity for a
+/// scheduled task before it starts running.
+class ResourcePool {
+ public:
+  explicit ResourcePool(ResourceBundle capacity);
+
+  /// Reserves `amount`; fails with ResourceExhausted if it does not fit.
+  Status Freeze(const ResourceBundle& amount);
+
+  /// Returns previously frozen capacity. Over-release is clamped and
+  /// reported as FailedPrecondition.
+  Status Release(const ResourceBundle& amount);
+
+  /// Dynamic scaling: grows capacity (scale up).
+  void ScaleUp(const ResourceBundle& extra);
+
+  /// Dynamic scaling: shrinks capacity; fails if in-use resources exceed
+  /// the reduced capacity.
+  Status ScaleDown(const ResourceBundle& less);
+
+  ResourceBundle capacity() const;
+  ResourceBundle available() const;
+  ResourceBundle in_use() const;
+
+  /// Largest integer multiple of `unit` that currently fits.
+  std::size_t MaxUnitsAvailable(const ResourceBundle& unit) const;
+
+ private:
+  mutable std::mutex mutex_;
+  ResourceBundle capacity_;
+  ResourceBundle in_use_;
+};
+
+}  // namespace simdc::actor

@@ -1,0 +1,53 @@
+// Simulated Android Debug Bridge shell.
+//
+// §IV-C: "PhoneMgr performs various operations and interface management for
+// physical devices, primarily relying on ADB commands ... ADB is a
+// versatile command-line tool capable of communicating with Android
+// devices". The paper enumerates the exact retrieval commands; this class
+// accepts those command strings against a simulated Phone and returns
+// textual output byte-compatible with a real handset — including the
+// "non-essential data" the paper notes must be post-processed away.
+//
+// Supported commands (matching §IV-C):
+//   cat /sys/class/power_supply/battery/current_now
+//   cat /sys/class/power_supply/battery/voltage_now
+//   pgrep -f <process_name>
+//   top -b -n 1 -p <pid>
+//   dumpsys meminfo <process_name>
+//   cat /proc/<pid>/net/dev
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "device/phone.h"
+
+namespace simdc::adb {
+
+class AdbServer {
+ public:
+  explicit AdbServer(device::Phone& phone) : phone_(phone) {}
+
+  /// Executes `adb shell <command>` at the phone's current clock time.
+  Result<std::string> Shell(std::string_view command) const {
+    return ShellAt(command, phone_.clock().Now());
+  }
+
+  /// Executes at an explicit sim time (used by schedule-driven sampling).
+  Result<std::string> ShellAt(std::string_view command, SimTime t) const;
+
+  const device::Phone& phone() const { return phone_; }
+
+ private:
+  Result<std::string> CatFile(std::string_view path, SimTime t) const;
+  Result<std::string> Pgrep(std::string_view name, SimTime t) const;
+  Result<std::string> Top(int pid, SimTime t) const;
+  Result<std::string> DumpsysMeminfo(std::string_view name, SimTime t) const;
+  Result<std::string> NetDev(int pid, SimTime t) const;
+
+  device::Phone& phone_;
+};
+
+}  // namespace simdc::adb

@@ -1,0 +1,50 @@
+#include "baseline/scalability_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simdc::baseline {
+namespace {
+
+double CeilDiv(std::size_t a, std::size_t b) {
+  return b == 0 ? 0.0 : std::ceil(static_cast<double>(a) / static_cast<double>(b));
+}
+
+}  // namespace
+
+double FedScaleModel::SingleRoundSeconds(std::size_t devices) const {
+  // Pure parallel compute over the cluster cores; no per-client comms.
+  const double waves = CeilDiv(devices, cluster_.cpu_cores);
+  return kRoundConstantS +
+         waves * cluster_.per_device_train_s * kComputeDiscount;
+}
+
+double FederatedScopeModel::SingleRoundSeconds(std::size_t devices) const {
+  // One resource instance hosting all client processes: compute waves over
+  // its cores plus a serial per-client communication/aggregation cost.
+  const double waves = CeilDiv(devices, cluster_.cpu_cores);
+  return kStartupS + waves * cluster_.per_device_train_s +
+         static_cast<double>(devices) * kPerClientCommS;
+}
+
+double SimDcModel::SingleRoundSeconds(std::size_t devices) const {
+  if (devices == 0) return params_.job_setup_s;
+  // One actor per core when multiplexing (each actor sequentially runs
+  // ceil(n/actors) devices, §IV-A); ablation: one actor per device, so the
+  // placement group launches in waves of `cores` actors and each pays its
+  // own download.
+  if (params_.multiplex_devices_per_actor) {
+    const std::size_t actors = std::min(devices, cluster_.cpu_cores);
+    const double per_device =
+        cluster_.per_device_train_s + params_.per_device_io_s;
+    return params_.job_setup_s + params_.actor_download_s +
+           CeilDiv(devices, actors) * per_device;
+  }
+  const double waves = CeilDiv(devices, cluster_.cpu_cores);
+  const double per_device = cluster_.per_device_train_s +
+                            params_.per_device_io_s +
+                            params_.actor_download_s;  // per-actor download
+  return params_.job_setup_s + waves * per_device;
+}
+
+}  // namespace simdc::baseline

@@ -1,0 +1,110 @@
+// Architectural cost models of SimDC and the baseline simulators —
+// substitution for running FedScale / FederatedScope themselves.
+//
+// Fig. 8 compares average single-round training time from 100 to 100,000
+// simulated devices on a 200-core cluster. The paper attributes the
+// differences to architecture, not to training math:
+//   * FedScale: "does not use device-cloud communication during
+//     simulations. Its data and models are stored directly in memory, and
+//     data is transferred only between memories" → essentially pure
+//     compute, fastest but least realistic.
+//   * FederatedScope: "employs a similar strategy for data and models and
+//     can only use a single resource instance to simulate clients";
+//     independently simulates clients and uses device-cloud communication
+//     for aggregation → small fixed overhead, per-client messaging cost.
+//   * SimDC: Ray placement groups across physical servers; "each actor
+//     ... must download the corresponding data and model for its simulated
+//     devices", results go to shared storage and cloud services → larger
+//     fixed setup (job submission, placement, per-actor downloads), so it
+//     is slower below ~1,000 devices, and comparable to FederatedScope
+//     beyond ~10,000 where device scale dominates.
+//
+// The models below implement exactly these pipelines as closed-form costs
+// with documented parameters; tests pin the orderings and crossovers the
+// paper reports.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace simdc::baseline {
+
+/// Shared workload/cluster parameters (Fig. 8 setup).
+struct ClusterParams {
+  /// Total CPU cores of the server cluster.
+  std::size_t cpu_cores = 200;
+  /// Core-seconds to train one simulated device's local shard (LR, 10
+  /// epochs, Python-stack overhead included).
+  double per_device_train_s = 4.0;
+};
+
+class SimulatorModel {
+ public:
+  virtual ~SimulatorModel() = default;
+  virtual std::string_view name() const = 0;
+  /// Average single-round wall time for `devices` simulated devices.
+  virtual double SingleRoundSeconds(std::size_t devices) const = 0;
+};
+
+/// FedScale-style: in-memory hand-off, no device-cloud communication.
+class FedScaleModel final : public SimulatorModel {
+ public:
+  explicit FedScaleModel(ClusterParams cluster) : cluster_(cluster) {}
+  std::string_view name() const override { return "FedScale"; }
+  double SingleRoundSeconds(std::size_t devices) const override;
+
+  /// In-memory frameworks avoid the interpreter/distribution overhead of a
+  /// per-client pipeline; effective per-device cost is discounted.
+  static constexpr double kComputeDiscount = 0.30;
+  static constexpr double kRoundConstantS = 0.5;
+
+ private:
+  ClusterParams cluster_;
+};
+
+/// FederatedScope-style: single resource instance, clients simulated
+/// independently, device-cloud communication for aggregation.
+class FederatedScopeModel final : public SimulatorModel {
+ public:
+  explicit FederatedScopeModel(ClusterParams cluster) : cluster_(cluster) {}
+  std::string_view name() const override { return "FederatedScope"; }
+  double SingleRoundSeconds(std::size_t devices) const override;
+
+  static constexpr double kStartupS = 3.0;
+  /// Per-client message + aggregation handling on the single instance.
+  static constexpr double kPerClientCommS = 0.004;
+
+ private:
+  ClusterParams cluster_;
+};
+
+/// SimDC's logical simulation: Ray job on k8s, placement group of actors,
+/// per-actor data/model download, shared-storage uploads + cloud messages.
+class SimDcModel final : public SimulatorModel {
+ public:
+  struct Params {
+    /// Ray job submission + placement-group launch + runtime configuration.
+    double job_setup_s = 12.0;
+    /// Data + model download per actor (runs in parallel across actors).
+    double actor_download_s = 3.5;
+    /// Upload of results to shared storage + message to cloud, per device.
+    double per_device_io_s = 0.5;
+    /// When false (ablation D4), one actor per device instead of actors
+    /// sequentially multiplexing devices; actor count is then capped by
+    /// bundles and each actor pays the download cost.
+    bool multiplex_devices_per_actor = true;
+  };
+
+  explicit SimDcModel(ClusterParams cluster)
+      : cluster_(cluster), params_() {}
+  SimDcModel(ClusterParams cluster, Params params)
+      : cluster_(cluster), params_(params) {}
+  std::string_view name() const override { return "SimDC"; }
+  double SingleRoundSeconds(std::size_t devices) const override;
+
+ private:
+  ClusterParams cluster_;
+  Params params_;
+};
+
+}  // namespace simdc::baseline

@@ -1,0 +1,98 @@
+#include "cloud/aggregation.h"
+
+#include "common/log.h"
+
+namespace simdc::cloud {
+
+AggregationService::AggregationService(sim::EventLoop& loop,
+                                       BlobStore& storage,
+                                       AggregationConfig config)
+    : loop_(loop),
+      storage_(storage),
+      config_(config),
+      aggregator_(config.model_dim),
+      global_model_(config.model_dim) {
+  SIMDC_CHECK(config.model_dim > 0, "aggregation needs a model dimension");
+}
+
+void AggregationService::Start() {
+  if (config_.trigger == AggregationTrigger::kScheduled) ArmSchedule();
+}
+
+void AggregationService::ArmSchedule() {
+  loop_.ScheduleAfter(config_.schedule_period, [this] {
+    if (stopped_) return;
+    AggregateNow();
+    const bool more =
+        config_.max_rounds == 0 || history_.size() < config_.max_rounds;
+    if (more) ArmSchedule();
+  });
+}
+
+void AggregationService::Deliver(const flow::Message& message,
+                                 SimTime arrival) {
+  (void)arrival;
+  if (stopped_) return;
+  ++messages_received_;
+
+  // Staleness filter: only updates trained against the current global
+  // model round are admitted when configured (Fig. 9 round semantics).
+  if (config_.reject_stale && message.round != history_.size()) {
+    ++stale_rejections_;
+    return;
+  }
+
+  // The message carries only a reference; the model lives in storage.
+  auto blob = storage_.Get(message.payload);
+  if (!blob.ok()) {
+    ++decode_failures_;
+    SIMDC_LOG(kWarn, "AggregationService")
+        << "missing payload blob for " << message.id.ToString() << ": "
+        << blob.error().ToString();
+    return;
+  }
+  auto model = ml::LrModel::FromBytes(*blob);
+  if (!model.ok()) {
+    ++decode_failures_;
+    SIMDC_LOG(kWarn, "AggregationService")
+        << "undecodable model from " << message.device.ToString() << ": "
+        << model.error().ToString();
+    return;
+  }
+  const std::size_t samples =
+      message.sample_count > 0 ? message.sample_count : 1;
+  const Status added = aggregator_.Add(*model, samples);
+  if (!added.ok()) {
+    ++decode_failures_;
+    return;
+  }
+
+  if (config_.trigger == AggregationTrigger::kSampleThreshold &&
+      aggregator_.total_samples() >= config_.sample_threshold) {
+    AggregateNow();
+  }
+}
+
+bool AggregationService::AggregateNow() {
+  if (aggregator_.clients() == 0) return false;
+  if (config_.max_rounds != 0 && history_.size() >= config_.max_rounds) {
+    return false;
+  }
+  auto model = aggregator_.Aggregate();
+  if (!model.ok()) return false;
+
+  AggregationRecord record;
+  record.round = history_.size() + 1;
+  record.time = loop_.Now();
+  record.clients = aggregator_.clients();
+  record.samples = aggregator_.total_samples();
+  record.model_blob = storage_.Put(model->ToBytes());
+
+  global_model_ = std::move(*model);
+  aggregator_.Reset();
+  history_.push_back(record);
+  if (on_aggregate_) on_aggregate_(record, global_model_);
+  return true;
+}
+
+}  // namespace simdc::cloud

@@ -1,0 +1,109 @@
+// Cloud-side aggregation service.
+//
+// §VI-C1: "In real federated learning scenarios, the cloud usually does
+// not know the exact number of participating devices or samples per
+// training round in advance. Therefore, conditions must be set to trigger
+// aggregation. Common triggers include reaching a threshold of total edge
+// training samples or reaching scheduled times."
+//
+// The service is a DeviceFlow CloudEndpoint: it receives messages, fetches
+// the referenced model blobs from shared storage, accumulates them into a
+// FedAvg aggregator, and publishes a new global model whenever its trigger
+// fires (sample-threshold — Fig. 9a — or scheduled — Fig. 9b / Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cloud/storage.h"
+#include "common/clock.h"
+#include "flow/device_flow.h"
+#include "ml/fedavg.h"
+#include "ml/lr_model.h"
+#include "sim/event_loop.h"
+
+namespace simdc::cloud {
+
+enum class AggregationTrigger {
+  /// Aggregate when accumulated training samples reach a threshold.
+  kSampleThreshold,
+  /// Aggregate on a fixed schedule regardless of arrivals.
+  kScheduled,
+};
+
+struct AggregationConfig {
+  std::uint32_t model_dim = 0;
+  AggregationTrigger trigger = AggregationTrigger::kSampleThreshold;
+  /// kSampleThreshold: total edge training samples that trigger a round.
+  std::size_t sample_threshold = 1000;
+  /// kScheduled: aggregation period.
+  SimDuration schedule_period = Seconds(60.0);
+  /// Stop after this many aggregations (0 = unbounded).
+  std::size_t max_rounds = 0;
+  /// Reject updates whose message.round is older than the current
+  /// aggregation round (production FL servers discard stale updates;
+  /// keeps round timing faithful to the traffic curve, Fig. 9).
+  bool reject_stale = false;
+};
+
+/// One completed aggregation.
+struct AggregationRecord {
+  std::size_t round = 0;
+  SimTime time = 0;
+  std::size_t clients = 0;
+  std::size_t samples = 0;
+  /// Storage id of the published global model.
+  BlobId model_blob;
+};
+
+class AggregationService final : public flow::CloudEndpoint {
+ public:
+  AggregationService(sim::EventLoop& loop, BlobStore& storage,
+                     AggregationConfig config);
+
+  /// Arms the scheduled trigger (no-op for sample-threshold).
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  /// DeviceFlow delivery: fetch blob, decode model, accumulate.
+  void Deliver(const flow::Message& message, SimTime arrival) override;
+
+  const ml::LrModel& global_model() const { return global_model_; }
+  void SetGlobalModel(ml::LrModel model) { global_model_ = std::move(model); }
+
+  const std::vector<AggregationRecord>& history() const { return history_; }
+  std::size_t rounds_completed() const { return history_.size(); }
+  std::size_t messages_received() const { return messages_received_; }
+  std::size_t decode_failures() const { return decode_failures_; }
+  std::size_t stale_rejections() const { return stale_rejections_; }
+  std::size_t pending_samples() const { return aggregator_.total_samples(); }
+
+  /// Fired after each aggregation with the new global model.
+  using AggregateCallback =
+      std::function<void(const AggregationRecord&, const ml::LrModel&)>;
+  void set_on_aggregate(AggregateCallback callback) {
+    on_aggregate_ = std::move(callback);
+  }
+
+  /// Forces an aggregation now (used at experiment teardown).
+  bool AggregateNow();
+
+ private:
+  void ArmSchedule();
+
+  sim::EventLoop& loop_;
+  BlobStore& storage_;
+  AggregationConfig config_;
+  ml::FedAvgAggregator aggregator_;
+  ml::LrModel global_model_;
+  std::vector<AggregationRecord> history_;
+  AggregateCallback on_aggregate_;
+  std::size_t messages_received_ = 0;
+  std::size_t decode_failures_ = 0;
+  std::size_t stale_rejections_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace simdc::cloud

@@ -1,0 +1,60 @@
+#include "cloud/storage.h"
+
+namespace simdc::cloud {
+
+BlobId BlobStore::Put(std::vector<std::byte> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const BlobId id(next_id_++);
+  total_bytes_ += bytes.size();
+  bytes_written_ += bytes.size();
+  blobs_.emplace(id, std::move(bytes));
+  return id;
+}
+
+Result<std::vector<std::byte>> BlobStore::Get(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob not found: " + id.ToString());
+  }
+  bytes_read_ += it->second.size();
+  return it->second;
+}
+
+Status BlobStore::Delete(BlobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob not found: " + id.ToString());
+  }
+  total_bytes_ -= it->second.size();
+  blobs_.erase(it);
+  return Status::Ok();
+}
+
+bool BlobStore::Contains(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.contains(id);
+}
+
+std::size_t BlobStore::blob_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+std::size_t BlobStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+std::size_t BlobStore::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+std::size_t BlobStore::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_read_;
+}
+
+}  // namespace simdc::cloud

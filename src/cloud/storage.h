@@ -1,0 +1,50 @@
+// Shared cloud storage (blob store).
+//
+// §V-A: devices "upload computation results to storage upon task
+// completion and transmit messages to cloud services. Cloud services then
+// retrieve the corresponding data from storage based on the received
+// messages." The blob store is that shared storage: content-addressed by
+// an opaque BlobId carried inside DeviceFlow messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+
+namespace simdc::cloud {
+
+class BlobStore {
+ public:
+  /// Stores a blob; returns its id.
+  BlobId Put(std::vector<std::byte> bytes);
+
+  /// Fetches a blob (copy; the store stays authoritative).
+  Result<std::vector<std::byte>> Get(BlobId id) const;
+
+  Status Delete(BlobId id);
+  bool Contains(BlobId id) const;
+
+  std::size_t blob_count() const;
+  /// Total stored bytes (capacity planning / experiment accounting).
+  std::size_t total_bytes() const;
+  /// Cumulative bytes ever written (upload traffic seen by storage).
+  std::size_t bytes_written() const;
+  /// Cumulative bytes ever read (download traffic served).
+  std::size_t bytes_read() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<BlobId, std::vector<std::byte>> blobs_;
+  std::uint64_t next_id_ = 1;
+  std::size_t total_bytes_ = 0;
+  std::size_t bytes_written_ = 0;
+  mutable std::size_t bytes_read_ = 0;
+};
+
+}  // namespace simdc::cloud

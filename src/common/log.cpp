@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace simdc {
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s: %s\n", ToString(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace simdc

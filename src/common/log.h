@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The platform components (Task Manager, PhoneMgr, DeviceFlow) log state
+// transitions; tests silence the logger by raising the threshold.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace simdc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* ToString(LogLevel level);
+
+/// Process-wide logger. Thread safe. Writes to stderr.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+/// Stream-style log statement, e.g. SIMDC_LOG(kInfo, "PhoneMgr") << "...";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { Logger::Instance().Write(level_, component_, oss_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream oss_;
+};
+
+#define SIMDC_LOG(level, component) \
+  ::simdc::LogStream(::simdc::LogLevel::level, (component))
+
+}  // namespace simdc

@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simdc {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("PearsonCorrelation: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("Percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Percentile: p out of [0,100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Mean(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  return s.mean();
+}
+
+double StdDev(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  return s.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %6zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace simdc

@@ -1,0 +1,39 @@
+// Small string helpers used mainly by the ADB output parsers, which must
+// post-process noisy textual command output (paper §IV-C: "The information
+// collected typically contains other non-essential data, requiring
+// post-processing to extract valid data").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simdc {
+
+/// Splits on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on runs of whitespace, dropping empty fields (like awk).
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Splits into lines on '\n' (drops a trailing empty line).
+std::vector<std::string> SplitLines(std::string_view text);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Strict integer / double parsing; nullopt on any trailing garbage.
+std::optional<std::int64_t> ParseInt(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+/// First integer appearing anywhere in the text (sign-aware), if any.
+std::optional<std::int64_t> FirstIntIn(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace simdc

@@ -1,0 +1,60 @@
+// Fixed-size worker thread pool.
+//
+// The Logical Simulation's worker "cluster" and the Task Runner's
+// multi-threaded concurrent task processing (paper §III-B) run on this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simdc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; returns a future for its result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Number of jobs waiting (not yet picked up).
+  std::size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace simdc

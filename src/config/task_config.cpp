@@ -1,0 +1,302 @@
+#include "config/task_config.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "flow/rate_functions.h"
+
+namespace simdc::config {
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+Result<IniDocument> ParseIni(std::string_view text) {
+  IniDocument doc;
+  std::string section;
+  std::size_t line_number = 0;
+  for (const auto& raw_line : SplitLines(text)) {
+    ++line_number;
+    // Strip comments (# or ;) and whitespace.
+    std::string line = raw_line;
+    for (const char marker : {'#', ';'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    const auto trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']' || trimmed.size() < 3) {
+        return ParseError(StrFormat("line %zu: malformed section header '%s'",
+                                    line_number,
+                                    std::string(trimmed).c_str()));
+      }
+      section = std::string(
+          TrimWhitespace(trimmed.substr(1, trimmed.size() - 2)));
+      if (section.empty()) {
+        return ParseError(StrFormat("line %zu: empty section name", line_number));
+      }
+      doc[section];  // materialize even if empty
+      continue;
+    }
+
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return ParseError(StrFormat("line %zu: expected 'key = value', got '%s'",
+                                  line_number, std::string(trimmed).c_str()));
+    }
+    const auto key = TrimWhitespace(trimmed.substr(0, eq));
+    const auto value = TrimWhitespace(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      return ParseError(StrFormat("line %zu: empty key", line_number));
+    }
+    doc[section][std::string(key)] = std::string(value);
+  }
+  return doc;
+}
+
+Result<std::string> GetString(const IniDocument& doc,
+                              const std::string& section,
+                              const std::string& key) {
+  const auto sit = doc.find(section);
+  if (sit == doc.end()) return NotFound("missing section [" + section + "]");
+  const auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) {
+    return NotFound("missing key '" + key + "' in [" + section + "]");
+  }
+  return kit->second;
+}
+
+Result<std::int64_t> GetInt(const IniDocument& doc, const std::string& section,
+                            const std::string& key) {
+  auto text = GetString(doc, section, key);
+  if (!text.ok()) return text.error();
+  const auto value = ParseInt(*text);
+  if (!value) {
+    return ParseError("[" + section + "] " + key + " = '" + *text +
+                      "' is not an integer");
+  }
+  return *value;
+}
+
+Result<double> GetDouble(const IniDocument& doc, const std::string& section,
+                         const std::string& key) {
+  auto text = GetString(doc, section, key);
+  if (!text.ok()) return text.error();
+  const auto value = ParseDouble(*text);
+  if (!value) {
+    return ParseError("[" + section + "] " + key + " = '" + *text +
+                      "' is not a number");
+  }
+  return *value;
+}
+
+Result<std::vector<std::size_t>> GetSizeList(const IniDocument& doc,
+                                             const std::string& section,
+                                             const std::string& key) {
+  auto text = GetString(doc, section, key);
+  if (!text.ok()) return text.error();
+  std::vector<std::size_t> values;
+  for (const auto& field : Split(*text, ',')) {
+    const auto value = ParseInt(field);
+    if (!value || *value < 0) {
+      return ParseError("[" + section + "] " + key + ": bad list element '" +
+                        field + "'");
+    }
+    values.push_back(static_cast<std::size_t>(*value));
+  }
+  if (values.empty()) {
+    return ParseError("[" + section + "] " + key + ": empty list");
+  }
+  return values;
+}
+
+Result<sched::TaskSpec> LoadTaskSpec(const IniDocument& doc) {
+  sched::TaskSpec task;
+  if (auto name = GetString(doc, "task", "name"); name.ok()) {
+    task.name = *name;
+  }
+  if (auto priority = GetInt(doc, "task", "priority"); priority.ok()) {
+    task.priority = static_cast<int>(*priority);
+  }
+  if (auto rounds = GetInt(doc, "task", "rounds"); rounds.ok()) {
+    if (*rounds <= 0) return InvalidArgument("[task] rounds must be >= 1");
+    task.rounds = static_cast<std::size_t>(*rounds);
+  }
+
+  for (const auto& [section, keys] : doc) {
+    if (!StartsWith(section, "devices.")) continue;
+    const std::string grade_name = Lower(section.substr(8));
+    sched::DeviceRequirement requirement;
+    if (grade_name == "high") {
+      requirement.grade = device::DeviceGrade::kHigh;
+    } else if (grade_name == "low") {
+      requirement.grade = device::DeviceGrade::kLow;
+    } else {
+      return InvalidArgument("unknown device grade section [" + section + "]");
+    }
+    auto count = GetInt(doc, section, "count");
+    if (!count.ok()) return count.error();
+    if (*count < 0) return InvalidArgument("[" + section + "] count < 0");
+    requirement.num_devices = static_cast<std::size_t>(*count);
+    if (auto q = GetInt(doc, section, "benchmarking"); q.ok()) {
+      requirement.benchmarking_phones = static_cast<std::size_t>(*q);
+    }
+    if (auto f = GetInt(doc, section, "logical_bundles"); f.ok()) {
+      requirement.logical_bundles = static_cast<std::size_t>(*f);
+    }
+    if (auto m = GetInt(doc, section, "phones"); m.ok()) {
+      requirement.phones = static_cast<std::size_t>(*m);
+    }
+    if (requirement.benchmarking_phones > requirement.num_devices) {
+      return InvalidArgument("[" + section + "] benchmarking > count");
+    }
+    task.requirements.push_back(requirement);
+  }
+  if (task.requirements.empty()) {
+    return InvalidArgument("task spec has no [devices.*] section");
+  }
+  return task;
+}
+
+Result<flow::DispatchStrategy> LoadStrategy(const IniDocument& doc) {
+  auto kind = GetString(doc, "traffic", "strategy");
+  if (!kind.ok()) return kind.error();
+  const std::string strategy = Lower(*kind);
+
+  if (strategy == "realtime") {
+    flow::RealtimeAccumulated realtime;
+    if (auto thresholds = GetSizeList(doc, "traffic", "thresholds");
+        thresholds.ok()) {
+      for (std::size_t t : *thresholds) {
+        if (t == 0) return InvalidArgument("[traffic] threshold 0 invalid");
+      }
+      realtime.thresholds = *thresholds;
+    }
+    if (auto p = GetDouble(doc, "traffic", "failure_probability"); p.ok()) {
+      if (*p < 0.0 || *p > 1.0) {
+        return InvalidArgument("[traffic] failure_probability out of [0,1]");
+      }
+      realtime.failure_probability = *p;
+    }
+    return flow::DispatchStrategy(realtime);
+  }
+
+  if (strategy == "points") {
+    auto at = GetSizeList(doc, "traffic", "at_s");
+    if (!at.ok()) return at.error();
+    auto counts = GetSizeList(doc, "traffic", "counts");
+    if (!counts.ok()) return counts.error();
+    if (at->size() != counts->size()) {
+      return InvalidArgument("[traffic] at_s and counts length mismatch");
+    }
+    double failure = 0.0;
+    if (auto p = GetDouble(doc, "traffic", "failure_probability"); p.ok()) {
+      failure = *p;
+    }
+    std::size_t discard = 0;
+    if (auto d = GetInt(doc, "traffic", "random_discard"); d.ok()) {
+      discard = static_cast<std::size_t>(*d);
+    }
+    flow::TimePointDispatch points;
+    for (std::size_t i = 0; i < at->size(); ++i) {
+      flow::TimePoint point;
+      point.when = Seconds(static_cast<double>((*at)[i]));
+      point.relative = true;
+      point.count = (*counts)[i];
+      point.failure_probability = failure;
+      point.random_discard = discard;
+      points.points.push_back(point);
+    }
+    return flow::DispatchStrategy(points);
+  }
+
+  if (strategy == "interval") {
+    flow::TimeIntervalDispatch interval;
+    double sigma = 1.0;
+    if (auto s = GetDouble(doc, "traffic", "sigma"); s.ok()) {
+      if (*s <= 0.0) return InvalidArgument("[traffic] sigma must be > 0");
+      sigma = *s;
+    }
+    auto curve = GetString(doc, "traffic", "curve");
+    if (!curve.ok()) return curve.error();
+    const std::string name = Lower(*curve);
+    if (name == "normal") {
+      interval.rate = flow::NormalCurve(sigma);
+    } else if (name == "right_tail") {
+      interval.rate = flow::RightTailedNormal(sigma);
+    } else if (name == "sin") {
+      interval.rate = flow::SinPlusOne();
+    } else if (name == "cos") {
+      interval.rate = flow::CosPlusOne();
+    } else if (name == "pow2") {
+      interval.rate = flow::TwoPowT();
+    } else if (name == "pow10") {
+      interval.rate = flow::TenPowT();
+    } else if (name == "diurnal") {
+      interval.rate = flow::DiurnalCurve();
+    } else {
+      return InvalidArgument("[traffic] unknown curve '" + *curve + "'");
+    }
+    if (auto s = GetDouble(doc, "traffic", "interval_s"); s.ok()) {
+      if (*s <= 0.0) return InvalidArgument("[traffic] interval_s must be > 0");
+      interval.interval = Seconds(*s);
+    }
+    if (auto p = GetDouble(doc, "traffic", "failure_probability"); p.ok()) {
+      if (*p < 0.0 || *p > 1.0) {
+        return InvalidArgument("[traffic] failure_probability out of [0,1]");
+      }
+      interval.failure_probability = *p;
+    }
+    return flow::DispatchStrategy(interval);
+  }
+
+  return InvalidArgument("[traffic] unknown strategy '" + *kind + "'");
+}
+
+Result<cloud::AggregationConfig> LoadAggregation(const IniDocument& doc,
+                                                 std::uint32_t model_dim) {
+  cloud::AggregationConfig config;
+  config.model_dim = model_dim;
+  auto trigger = GetString(doc, "aggregation", "trigger");
+  if (!trigger.ok()) return trigger.error();
+  const std::string kind = Lower(*trigger);
+  if (kind == "scheduled") {
+    config.trigger = cloud::AggregationTrigger::kScheduled;
+    auto period = GetDouble(doc, "aggregation", "period_s");
+    if (!period.ok()) return period.error();
+    if (*period <= 0.0) {
+      return InvalidArgument("[aggregation] period_s must be > 0");
+    }
+    config.schedule_period = Seconds(*period);
+  } else if (kind == "sample_threshold") {
+    config.trigger = cloud::AggregationTrigger::kSampleThreshold;
+    auto threshold = GetInt(doc, "aggregation", "threshold");
+    if (!threshold.ok()) return threshold.error();
+    if (*threshold <= 0) {
+      return InvalidArgument("[aggregation] threshold must be > 0");
+    }
+    config.sample_threshold = static_cast<std::size_t>(*threshold);
+  } else {
+    return InvalidArgument("[aggregation] unknown trigger '" + *trigger + "'");
+  }
+  if (auto stale = GetInt(doc, "aggregation", "reject_stale"); stale.ok()) {
+    config.reject_stale = *stale != 0;
+  }
+  return config;
+}
+
+Result<sched::TaskSpec> ParseTaskSpec(std::string_view text) {
+  auto doc = ParseIni(text);
+  if (!doc.ok()) return doc.error();
+  return LoadTaskSpec(*doc);
+}
+
+}  // namespace simdc::config

@@ -1,0 +1,94 @@
+// Textual task specifications.
+//
+// In the paper, users configure "device simulation targets, cloud service
+// parameters, resource requirements, and operator flow configurations via
+// the front-end graphical user interface" (§III-C). Headless deployments
+// need the same information as data; this module parses a small INI-style
+// format into TaskSpec / DispatchStrategy / FL experiment settings, with
+// strict validation so malformed specs are rejected with precise errors.
+//
+// Example:
+//
+//   [task]
+//   name = nightly-ctr
+//   priority = 5
+//   rounds = 10
+//
+//   [devices.high]
+//   count = 500
+//   benchmarking = 5
+//   logical_bundles = 100
+//   phones = 12
+//
+//   [devices.low]
+//   count = 500
+//   benchmarking = 5
+//   logical_bundles = 100
+//   phones = 8
+//
+//   [traffic]
+//   strategy = interval
+//   curve = normal
+//   sigma = 1.0
+//   interval_s = 60
+//   failure_probability = 0.05
+//
+//   [aggregation]
+//   trigger = scheduled
+//   period_s = 120
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "cloud/aggregation.h"
+#include "common/error.h"
+#include "flow/strategy.h"
+#include "sched/task.h"
+
+namespace simdc::config {
+
+/// Parsed INI document: section → (key → value). Later duplicate keys win.
+using IniDocument = std::map<std::string, std::map<std::string, std::string>>;
+
+/// Parses INI text: `[section]` headers, `key = value` pairs, `#`/`;`
+/// comments, blank lines. Keys outside a section go to section "".
+Result<IniDocument> ParseIni(std::string_view text);
+
+/// Typed accessors (NotFound / ParseError on failure).
+Result<std::string> GetString(const IniDocument& doc,
+                              const std::string& section,
+                              const std::string& key);
+Result<std::int64_t> GetInt(const IniDocument& doc, const std::string& section,
+                            const std::string& key);
+Result<double> GetDouble(const IniDocument& doc, const std::string& section,
+                         const std::string& key);
+/// Comma-separated list of non-negative integers.
+Result<std::vector<std::size_t>> GetSizeList(const IniDocument& doc,
+                                             const std::string& section,
+                                             const std::string& key);
+
+/// Builds a TaskSpec from the [task] and [devices.*] sections.
+/// The task id is left unassigned (the platform assigns it on submit).
+Result<sched::TaskSpec> LoadTaskSpec(const IniDocument& doc);
+
+/// Builds a DeviceFlow strategy from the [traffic] section.
+/// strategy = realtime | points | interval
+///   realtime: thresholds = 20,100,50   failure_probability = 0.1
+///   points:   at_s = 10,25,40          counts = 200,600,400
+///             failure_probability, random_discard (optional)
+///   interval: curve = normal|right_tail|sin|cos|pow2|pow10|diurnal
+///             sigma (normal/right_tail), interval_s, failure_probability
+Result<flow::DispatchStrategy> LoadStrategy(const IniDocument& doc);
+
+/// Builds aggregation settings from the [aggregation] section.
+/// trigger = scheduled | sample_threshold; period_s / threshold;
+/// reject_stale = 0|1.
+Result<cloud::AggregationConfig> LoadAggregation(const IniDocument& doc,
+                                                 std::uint32_t model_dim);
+
+/// One-call convenience: parse text and build the TaskSpec.
+Result<sched::TaskSpec> ParseTaskSpec(std::string_view text);
+
+}  // namespace simdc::config

@@ -1,0 +1,238 @@
+#include "core/fl_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+
+#include "common/log.h"
+
+namespace simdc::core {
+
+FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
+                   FlExperimentConfig config, ThreadPool* pool)
+    : loop_(loop),
+      dataset_(dataset),
+      config_(std::move(config)),
+      pool_(pool),
+      flow_(loop),
+      rng_(Rng(config_.seed).Split("fl-engine")) {
+  SIMDC_CHECK(!dataset.devices.empty(), "FlEngine: dataset has no devices");
+  cloud::AggregationConfig agg;
+  agg.model_dim = dataset.hash_dim;
+  agg.trigger = config_.trigger;
+  agg.sample_threshold = config_.sample_threshold;
+  agg.schedule_period = config_.schedule_period;
+  agg.max_rounds = config_.rounds;
+  agg.reject_stale = config_.reject_stale;
+  service_ = std::make_unique<cloud::AggregationService>(loop_, storage_, agg);
+
+  const Status configured = flow_.ConfigureTask(
+      config_.task, config_.strategy, service_.get(), config_.seed);
+  SIMDC_CHECK(configured.ok(), "FlEngine: DeviceFlow configuration failed");
+
+  // Build the train-evaluation pool: a deterministic, capped sample of the
+  // union of device shards (Fig. 9b reports train accuracy).
+  Rng pool_rng = Rng(config_.seed).Split("train-eval-pool");
+  for (const auto& device : dataset_.devices) {
+    for (const auto& example : device.examples) {
+      if (train_eval_pool_.size() < config_.eval_cap) {
+        train_eval_pool_.push_back(example);
+      } else {
+        // Reservoir: keep the pool an unbiased sample of all shards.
+        const auto j = static_cast<std::size_t>(pool_rng.UniformInt(
+            0, static_cast<std::int64_t>(train_eval_pool_.size()) * 8));
+        if (j < train_eval_pool_.size()) train_eval_pool_[j] = example;
+      }
+    }
+  }
+}
+
+bool FlEngine::ShouldStop() const {
+  if (result_.rounds.size() >= config_.rounds) return true;
+  if (config_.time_window > 0 && loop_.Now() >= config_.time_window) {
+    return true;
+  }
+  return false;
+}
+
+FlRunResult FlEngine::Run() {
+  service_->set_on_aggregate(
+      [this](const cloud::AggregationRecord& record, const ml::LrModel& model) {
+        RecordRound(record, model);
+      });
+  service_->Start();
+  StartRound(0);
+  loop_.Run();
+
+  const ml::LrModel& model = service_->global_model();
+  result_.model_dim = model.dim();
+  result_.final_weights.assign(model.weights().begin(),
+                               model.weights().end());
+  result_.final_bias = model.bias();
+  if (const auto* dispatcher = flow_.FindDispatcher(config_.task)) {
+    result_.messages_dropped = dispatcher->stats().dropped;
+  }
+  return result_;
+}
+
+void FlEngine::StartRound(std::size_t round) {
+  if (ShouldStop()) {
+    service_->Stop();
+    return;
+  }
+  ++rounds_started_;
+  const SimTime t0 = loop_.Now();
+  (void)flow_.OnRoundStart(config_.task, round);
+
+  // Pick participants.
+  std::vector<std::size_t> participants;
+  const std::size_t n = dataset_.devices.size();
+  if (config_.participants_per_round == 0 ||
+      config_.participants_per_round >= n) {
+    participants.resize(n);
+    for (std::size_t i = 0; i < n; ++i) participants[i] = i;
+  } else {
+    Rng round_rng = Rng(config_.seed).Split(round * 2654435761ULL + 17);
+    participants = round_rng.SampleWithoutReplacement(
+        n, config_.participants_per_round);
+    std::sort(participants.begin(), participants.end());
+  }
+
+  // Train every participant from the current global model. Work is
+  // CPU-parallel but deterministic: each device's result depends only on
+  // (global model, shard, seeds), never on execution order.
+  struct Trained {
+    std::vector<std::byte> bytes;
+    std::size_t samples = 0;
+    SimDuration delay = 0;
+    DeviceId device;
+  };
+  const ml::LrModel& global = service_->global_model();
+  const auto logical_cut = static_cast<std::size_t>(
+      config_.logical_fraction * static_cast<double>(n) + 0.5);
+  auto results = std::make_shared<std::vector<Trained>>(participants.size());
+
+  auto train_one = [&, this](std::size_t slot) {
+    const std::size_t device_index = participants[slot];
+    const auto& shard = dataset_.devices[device_index];
+    ml::LrModel local = global;
+    // §VI-B2: logical simulation uses the PyMNN-like server kernel, device
+    // simulation the MNN-like mobile kernel.
+    const ml::OperatorVenue venue = device_index < logical_cut
+                                        ? ml::OperatorVenue::kServer
+                                        : ml::OperatorVenue::kMobile;
+    const auto op = ml::MakeLrOperator(venue);
+    ml::TrainConfig train = config_.train;
+    train.shuffle_seed =
+        SplitMix64(config_.seed ^ (device_index * 1000003ULL + round));
+    op->Train(local, shard.examples, train);
+
+    Trained& out = (*results)[slot];
+    out.bytes = local.ToBytes();
+    out.samples = shard.examples.size();
+    out.device = shard.device;
+    Rng delay_rng = Rng(config_.seed).Split(device_index ^ (round << 20));
+    const SimDuration extra =
+        config_.delay_fn
+            ? config_.delay_fn(shard, round, delay_rng)
+            : Seconds(shard.response_delay_s);
+    out.delay = Seconds(config_.compute_seconds) + std::max<SimDuration>(0, extra);
+  };
+
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(participants.size(),
+                       [&](std::size_t slot) { train_one(slot); });
+  } else {
+    for (std::size_t slot = 0; slot < participants.size(); ++slot) {
+      train_one(slot);
+    }
+  }
+
+  // Emit upload events: blob to storage + message into DeviceFlow at the
+  // device's response time. Messages carry the *aggregation* round they
+  // were trained against (what a staleness-filtering cloud checks), which
+  // can lag the engine's round index when a round closed empty.
+  const std::size_t aggregation_round = service_->rounds_completed();
+  SimDuration max_delay = 0;
+  for (std::size_t slot = 0; slot < participants.size(); ++slot) {
+    const Trained& trained = (*results)[slot];
+    max_delay = std::max(max_delay, trained.delay);
+    const MessageId message_id(next_message_id_++);
+    loop_.ScheduleAt(t0 + trained.delay, [this, results, slot,
+                                          round = aggregation_round,
+                                          message_id] {
+      Trained& trained = (*results)[slot];
+      flow::Message message;
+      message.id = message_id;
+      message.task = config_.task;
+      message.device = trained.device;
+      message.round = round;
+      message.payload_bytes = static_cast<std::int64_t>(trained.bytes.size());
+      message.payload = storage_.Put(std::move(trained.bytes));
+      message.sample_count = trained.samples;
+      message.created = loop_.Now();
+      ++result_.messages_emitted;
+      (void)flow_.OnMessage(std::move(message));
+    });
+  }
+
+  // Device-side round completion → rule-based strategies fire.
+  const SimTime round_end = t0 + max_delay;
+  loop_.ScheduleAt(round_end,
+                   [this, round] { (void)flow_.OnRoundEnd(config_.task, round); });
+
+  // Stall guard: if the trigger never fires (heavy dropout under a sample
+  // threshold), force-aggregate; with nothing pending, close an empty
+  // round so the experiment still advances.
+  stall_event_ = loop_.ScheduleAt(
+      round_end + config_.stall_timeout, [this, round] {
+        stall_event_ = 0;
+        if (last_recorded_round_ > round) return;  // already closed
+        if (!service_->AggregateNow()) {
+          RoundMetrics metrics;
+          metrics.round = result_.rounds.size() + 1;
+          metrics.time = loop_.Now();
+          const auto eval_test = ml::Evaluate(
+              service_->global_model(),
+              std::span(dataset_.test_set.data(),
+                        std::min(dataset_.test_set.size(), config_.eval_cap)));
+          metrics.test_accuracy = eval_test.accuracy;
+          metrics.test_logloss = eval_test.logloss;
+          result_.rounds.push_back(metrics);
+          last_recorded_round_ = round + 1;
+          StartRound(round + 1);
+        }
+      });
+}
+
+void FlEngine::RecordRound(const cloud::AggregationRecord& record,
+                           const ml::LrModel& model) {
+  if (stall_event_ != 0) {
+    loop_.Cancel(stall_event_);
+    stall_event_ = 0;
+  }
+  RoundMetrics metrics;
+  metrics.round = record.round;
+  metrics.time = record.time;
+  metrics.clients = record.clients;
+  metrics.samples = record.samples;
+  const auto test_span =
+      std::span(dataset_.test_set.data(),
+                std::min(dataset_.test_set.size(), config_.eval_cap));
+  const auto test = ml::Evaluate(model, test_span);
+  metrics.test_accuracy = test.accuracy;
+  metrics.test_logloss = test.logloss;
+  const auto train = ml::Evaluate(model, train_eval_pool_);
+  metrics.train_accuracy = train.accuracy;
+  metrics.train_logloss = train.logloss;
+  result_.rounds.push_back(metrics);
+  last_recorded_round_ = rounds_started_;
+
+  if (!ShouldStop()) {
+    StartRound(rounds_started_);
+  } else {
+    service_->Stop();
+  }
+}
+
+}  // namespace simdc::core

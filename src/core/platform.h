@@ -1,0 +1,125 @@
+// SimDC platform facade — the public entry point tying every subsystem
+// together (paper Fig. 1): Task Manager (queue + greedy scheduler + task
+// runner), Resource Manager, Logical Simulation (actor cluster cost
+// model), Device Simulation (PhoneMgr + simulated phone cluster with ADB
+// measurement), DeviceFlow, and the cloud storage / metrics database.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "actor/cluster.h"
+#include "cloud/database.h"
+#include "cloud/storage.h"
+#include "common/error.h"
+#include "core/fl_engine.h"
+#include "data/example.h"
+#include "phonemgr/phone_mgr.h"
+#include "sched/allocation.h"
+#include "sched/resource_manager.h"
+#include "sched/scheduler.h"
+#include "sched/task.h"
+#include "sched/task_queue.h"
+#include "sim/event_loop.h"
+
+namespace simdc::core {
+
+struct PlatformConfig {
+  /// Logical-simulation capacity in unit resource bundles (the paper's
+  /// default cluster: 200 CPU cores / 300 GB ≈ 200 unit bundles).
+  std::size_t logical_unit_bundles = 200;
+  /// Physical cluster composition (§VI-A2 defaults).
+  std::size_t local_high_phones = 4;
+  std::size_t local_low_phones = 6;
+  std::size_t msp_high_phones = 13;
+  std::size_t msp_low_phones = 7;
+  /// Worker threads for CPU-bound training (0 = hardware concurrency).
+  std::size_t worker_threads = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Options controlling how queued tasks execute.
+struct ExecOptions {
+  /// True: solve the hybrid allocation ILP; false: use fixed_logical_ratio
+  /// (the paper's Type 1–5 settings).
+  bool use_optimizer = true;
+  double fixed_logical_ratio = 1.0;
+  /// Collect benchmarking-device samples into the metrics database.
+  SimDuration sample_period = Seconds(15.0);
+  /// Aggregation wait between rounds seen by phones.
+  double aggregation_wait_s = 10.0;
+  /// Per-round communication volumes for phones.
+  std::int64_t download_bytes = 16 * 1024;
+  std::int64_t upload_bytes = 17 * 1024;
+};
+
+/// Outcome of one executed task.
+struct TaskReport {
+  TaskId id;
+  bool ok = false;
+  std::string detail;
+  sched::AllocationResult allocation;
+  SimTime started = 0;
+  SimTime finished = 0;
+  /// Benchmarking phones per requirement (for Table I queries).
+  std::vector<std::vector<PhoneId>> benchmarking;
+
+  double elapsed_seconds() const { return ToSeconds(finished - started); }
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  /// Allocates a fresh unique task id (§III-A).
+  TaskId NextTaskId() { return TaskId(next_task_id_++); }
+
+  /// Queues a task for the scheduler.
+  Status SubmitTask(sched::TaskSpec task);
+
+  /// Runs scheduler passes and executes every queued task to completion on
+  /// the virtual clock, honoring priorities and resource limits. Returns
+  /// one report per executed task (submission order).
+  std::vector<TaskReport> RunQueuedTasks(const ExecOptions& options = {});
+
+  /// Runs a federated-learning experiment end-to-end (training, DeviceFlow
+  /// traffic shaping, cloud aggregation) on the platform's event loop.
+  FlRunResult RunFlExperiment(const data::FederatedDataset& dataset,
+                              FlExperimentConfig config);
+
+  // --- Subsystem access for experiments and tests ---
+  sim::EventLoop& loop() { return loop_; }
+  device::PhoneMgr& phone_mgr() { return phone_mgr_; }
+  sched::ResourceManager& resources() { return resources_; }
+  sched::TaskQueue& queue() { return queue_; }
+  cloud::MetricsDatabase& metrics() { return metrics_; }
+  cloud::BlobStore& storage() { return storage_; }
+  ThreadPool& worker_pool() { return workers_; }
+
+ private:
+  struct RunningTask {
+    sched::TaskSpec spec;
+    sched::ResourceRequest frozen;
+    TaskReport report;
+    std::size_t parts_pending = 0;
+  };
+
+  void SchedulerPass(const ExecOptions& options);
+  void LaunchTask(sched::TaskSpec task, const ExecOptions& options);
+  void FinishPart(const std::shared_ptr<RunningTask>& running,
+                  const ExecOptions& options);
+
+  PlatformConfig config_;
+  sim::EventLoop loop_;
+  ThreadPool workers_;
+  device::PhoneMgr phone_mgr_;
+  sched::ResourceManager resources_;
+  sched::TaskQueue queue_;
+  sched::GreedyScheduler scheduler_;
+  cloud::MetricsDatabase metrics_;
+  cloud::BlobStore storage_;
+  std::uint64_t next_task_id_ = 1;
+  std::vector<TaskReport> finished_reports_;
+};
+
+}  // namespace simdc::core

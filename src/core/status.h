@@ -1,0 +1,21 @@
+// Textual platform monitoring — the headless stand-in for the paper's GUI
+// (§III-C: "users can monitor various computational metrics, edge device
+// performance, and updates to cloud services throughout the task execution
+// process via the GUI").
+#pragma once
+
+#include <string>
+
+#include "core/platform.h"
+
+namespace simdc::core {
+
+/// Renders a point-in-time dashboard of the platform: virtual clock, task
+/// queue, resource pool, phone cluster occupancy and metrics-database
+/// volume. Suitable for printing to a terminal or a log each tick.
+std::string RenderStatus(Platform& platform);
+
+/// One-line summary (for periodic log lines).
+std::string RenderStatusLine(Platform& platform);
+
+}  // namespace simdc::core

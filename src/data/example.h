@@ -1,0 +1,63 @@
+// Core dataset types for the CTR-prediction workload.
+//
+// The paper's experiments (§VI-A) use the Avazu click-through-rate dataset:
+// ~2M records over 100,000 devices keyed by device_id, sparse categorical
+// features, binary click labels, trained with logistic regression. We
+// represent a record as the set of hashed feature indices that are active
+// (one per categorical field), which is exactly the input an LR model with
+// feature hashing consumes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace simdc::data {
+
+/// One advertising impression: active hashed feature indices + click label.
+struct Example {
+  std::vector<std::uint32_t> features;  // indices into [0, hash_dim)
+  float label = 0.0f;                   // 1.0 = click, 0.0 = no click
+};
+
+/// All records belonging to one simulated device.
+struct DeviceData {
+  DeviceId device;
+  std::vector<Example> examples;
+  /// Ground-truth expected CTR used when synthesizing this device's data
+  /// (kept for experiment analysis; a real platform would not know it).
+  double true_ctr = 0.0;
+  /// Response-delay preference: devices with higher CTR transmit faster in
+  /// the Fig. 9 scenario. Stored here so traffic experiments can correlate
+  /// delay with data distribution.
+  double response_delay_s = 0.0;
+};
+
+/// A federated dataset: per-device shards plus a held-out global test set.
+struct FederatedDataset {
+  std::vector<DeviceData> devices;
+  std::vector<Example> test_set;
+  std::uint32_t hash_dim = 0;
+
+  std::size_t TotalExamples() const {
+    std::size_t n = 0;
+    for (const auto& d : devices) n += d.examples.size();
+    return n;
+  }
+
+  /// Empirical positive-label rate over all device shards.
+  double GlobalPositiveRate() const {
+    std::size_t pos = 0, total = 0;
+    for (const auto& d : devices) {
+      for (const auto& e : d.examples) {
+        pos += e.label > 0.5f ? 1 : 0;
+        ++total;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(pos) / static_cast<double>(total);
+  }
+};
+
+}  // namespace simdc::data

@@ -1,0 +1,72 @@
+// Avazu-like categorical schema.
+//
+// The real Avazu dataset has 22 categorical fields (hour, banner position,
+// site/app identity and category, device attributes, and anonymized
+// C1/C14–C21 columns). The synthetic generator reproduces this shape with
+// scaled-down but realistically skewed cardinalities; what matters for the
+// experiments is the sparsity pattern (one active feature per field) and
+// per-device heterogeneity, both of which this schema preserves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace simdc::data {
+
+/// One categorical field: name, number of distinct values, and Zipf skew
+/// exponent for its popularity distribution (0 = uniform).
+struct FieldSpec {
+  std::string_view name;
+  std::uint32_t cardinality;
+  double zipf_exponent;
+  /// Device-affine fields are drawn from a per-device preference (a device
+  /// mostly visits the same sites / uses the same apps); others are drawn
+  /// globally per record.
+  bool device_affine;
+};
+
+/// The 22 Avazu fields. Cardinalities are scaled to keep synthetic data
+/// laptop-sized while preserving head/tail skew.
+inline constexpr std::array<FieldSpec, 22> kAvazuFields = {{
+    {"hour", 24, 0.0, false},
+    {"C1", 7, 1.2, false},
+    {"banner_pos", 7, 1.5, false},
+    {"site_id", 1500, 1.1, true},
+    {"site_domain", 1200, 1.1, true},
+    {"site_category", 26, 1.3, true},
+    {"app_id", 1000, 1.1, true},
+    {"app_domain", 200, 1.2, true},
+    {"app_category", 28, 1.3, true},
+    {"device_model", 600, 1.0, true},
+    {"device_type", 5, 1.4, true},
+    {"device_conn_type", 4, 1.2, true},
+    {"C14", 800, 1.0, false},
+    {"C15", 8, 1.0, false},
+    {"C16", 9, 1.0, false},
+    {"C17", 450, 1.0, false},
+    {"C18", 4, 0.5, false},
+    {"C19", 70, 1.0, false},
+    {"C20", 170, 1.0, false},
+    {"C21", 60, 1.0, false},
+    {"day_of_week", 7, 0.0, false},
+    {"is_weekend", 2, 0.0, false},
+}};
+
+/// Number of active features per example (one per field).
+inline constexpr std::size_t kFeaturesPerExample = kAvazuFields.size();
+
+/// Feature hashing: maps (field, value) to an index in [0, hash_dim).
+/// Splittable: distinct fields land in independent hash streams.
+constexpr std::uint32_t HashFeature(std::uint32_t field, std::uint32_t value,
+                                    std::uint32_t hash_dim) {
+  // 64-bit mix of (field, value), then reduce.
+  std::uint64_t x = (static_cast<std::uint64_t>(field) << 32) | value;
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x = x ^ (x >> 31);
+  return static_cast<std::uint32_t>(x % hash_dim);
+}
+
+}  // namespace simdc::data

@@ -1,0 +1,76 @@
+#include "device/fleet.h"
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace simdc::device {
+namespace {
+
+constexpr std::array<const char*, 5> kHighModels = {
+    "SDC-Find-X7", "SDC-Reno-11", "SDC-OnePlus-12", "SDC-Find-N3",
+    "SDC-Reno-10P"};
+constexpr std::array<const char*, 5> kLowModels = {
+    "SDC-A38", "SDC-A17", "SDC-K11", "SDC-A2m", "SDC-A1k"};
+
+PhoneSpec MakeSpec(std::uint64_t id, DeviceGrade grade, bool msp, Rng& rng) {
+  PhoneSpec spec;
+  spec.id = PhoneId(id);
+  spec.grade = grade;
+  spec.remote_msp = msp;
+  spec.seed = rng.Split(id)();
+  if (grade == DeviceGrade::kHigh) {
+    spec.model = kHighModels[id % kHighModels.size()];
+    // High grade: more than 8 GB memory (paper's classification rule).
+    spec.memory_gb = 12.0 + 4.0 * static_cast<double>(rng.UniformInt(0, 1));
+    spec.cpu_freq_ghz = rng.Uniform(2.8, 3.3);
+    spec.has_npu = rng.Bernoulli(0.7);
+  } else {
+    spec.model = kLowModels[id % kLowModels.size()];
+    // Low grade: less than 8 GB memory.
+    spec.memory_gb = 4.0 + 2.0 * static_cast<double>(rng.UniformInt(0, 1));
+    spec.cpu_freq_ghz = rng.Uniform(1.8, 2.4);
+    spec.has_npu = false;
+  }
+  return spec;
+}
+
+std::vector<PhoneSpec> MakeFleet(std::size_t high, std::size_t low,
+                                 std::uint64_t seed, std::uint64_t first_id,
+                                 bool msp) {
+  Rng rng(seed);
+  std::vector<PhoneSpec> fleet;
+  fleet.reserve(high + low);
+  std::uint64_t id = first_id;
+  for (std::size_t i = 0; i < high; ++i) {
+    fleet.push_back(MakeSpec(id++, DeviceGrade::kHigh, msp, rng));
+  }
+  for (std::size_t i = 0; i < low; ++i) {
+    fleet.push_back(MakeSpec(id++, DeviceGrade::kLow, msp, rng));
+  }
+  return fleet;
+}
+
+}  // namespace
+
+std::vector<PhoneSpec> MakeLocalFleet(std::size_t high, std::size_t low,
+                                      std::uint64_t seed,
+                                      std::uint64_t first_id) {
+  return MakeFleet(high, low, seed, first_id, /*msp=*/false);
+}
+
+std::vector<PhoneSpec> MakeMspFleet(std::size_t high, std::size_t low,
+                                    std::uint64_t seed,
+                                    std::uint64_t first_id) {
+  return MakeFleet(high, low, seed, first_id, /*msp=*/true);
+}
+
+std::vector<PhoneSpec> MakeDefaultCluster(std::uint64_t seed) {
+  auto fleet = MakeLocalFleet(4, 6, seed, 0);
+  const auto msp = MakeMspFleet(13, 7, seed ^ 0x5555AAAA, 1000);
+  fleet.insert(fleet.end(), msp.begin(), msp.end());
+  return fleet;
+}
+
+}  // namespace simdc::device

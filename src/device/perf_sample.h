@@ -1,0 +1,44 @@
+// Performance samples collected from benchmarking devices.
+//
+// §IV-C: "Once the Benchmarking devices start training, PhoneMgr retrieves
+// information from these devices at a certain frequency, organizes it in
+// real-time, and uploads it to the cloud database for storage." The basic
+// device information is current (µA), voltage (mV), CPU usage (%), memory
+// usage (KB) and bandwidth usage (B) — exactly the fields below.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "device/power_model.h"
+
+namespace simdc::device {
+
+struct PerfSample {
+  PhoneId phone;
+  TaskId task;
+  SimTime time = 0;
+  /// Battery current in µA (negative = discharging, Android convention).
+  std::int64_t current_ua = 0;
+  /// Battery voltage in mV.
+  double voltage_mv = 0.0;
+  /// Process CPU usage in percent.
+  double cpu_percent = 0.0;
+  /// Process PSS memory in KB.
+  std::int64_t memory_kb = 0;
+  /// Cumulative wlan bytes (rx + tx) at sample time.
+  std::int64_t bandwidth_bytes = 0;
+  /// Lifecycle stage the device was in (PhoneMgr tags samples using the
+  /// task timeline so Table I can aggregate per stage).
+  ApkStage stage = ApkStage::kNoApk;
+};
+
+/// Destination for samples — implemented by the cloud metrics database.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Record(const PerfSample& sample) = 0;
+};
+
+}  // namespace simdc::device

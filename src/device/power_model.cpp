@@ -1,0 +1,42 @@
+#include "device/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simdc::device {
+namespace {
+
+// Mean currents (mA) reproducing Table I energies over the stage durations.
+constexpr std::array<double, 5> kHighCurrentMa = {57.6, 122.4, 40.0, 88.8,
+                                                  105.6};
+constexpr std::array<double, 5> kLowCurrentMa = {410.4, 432.0, 110.0, 396.0,
+                                                 436.8};
+
+constexpr std::size_t StageIndex(ApkStage stage) {
+  return static_cast<std::size_t>(static_cast<int>(stage) - 1);
+}
+
+}  // namespace
+
+double PowerModel::MeanCurrentMa(ApkStage stage) const {
+  const auto& table =
+      grade_ == DeviceGrade::kHigh ? kHighCurrentMa : kLowCurrentMa;
+  return table[StageIndex(stage)];
+}
+
+std::int64_t PowerModel::CurrentNowMicroAmps(ApkStage stage, Rng& rng) const {
+  const double mean_ua = MeanCurrentMa(stage) * 1000.0;
+  const double noisy = mean_ua * (1.0 + noise_fraction_ * rng.Normal());
+  // Android reports discharge as negative current.
+  return -static_cast<std::int64_t>(std::llround(std::max(0.0, noisy)));
+}
+
+std::int64_t PowerModel::VoltageNowMicroVolts(ApkStage stage, Rng& rng) const {
+  // Nominal 3.85 V battery; sags ~1 mV per mA of load, ±8 mV noise.
+  const double sag_uv = MeanCurrentMa(stage) * 1000.0;
+  const double noise_uv = 8000.0 * rng.Normal();
+  const double reading = 3.85e6 - sag_uv + noise_uv;
+  return static_cast<std::int64_t>(std::llround(reading));
+}
+
+}  // namespace simdc::device

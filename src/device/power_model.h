@@ -1,0 +1,82 @@
+// Battery / power model of a simulated phone.
+//
+// PhoneMgr measures physical performance via ADB reads of
+// /sys/class/power_supply/battery/{current_now,voltage_now} (§IV-C) and
+// Table I reports per-stage energy (mAh) over the five APK lifecycle
+// stages. This model produces instantaneous current/voltage readings whose
+// integral over the stage durations reproduces Table I:
+//
+//   grade  stage                 mAh     min    => mean current (mA)
+//   High   1 no APK initiated    0.24    0.25      57.6
+//          2 APK launch          0.51    0.25     122.4
+//          3 Training            0.18    0.27      40.0
+//          4 Post-training       0.37    0.25      88.8
+//          5 Closure of APK      0.44    0.25     105.6
+//   Low    1 no APK initiated    1.71    0.25     410.4
+//          2 APK launch          1.80    0.25     432.0
+//          3 Training            0.66    0.36     110.0
+//          4 Post-training       1.65    0.25     396.0
+//          5 Closure of APK      1.82    0.25     436.8
+//
+// (Low-grade handsets draw notably more current at idle — older SoCs with
+// poorer power management — which is exactly the heterogeneity the paper's
+// physical cluster exists to expose.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "device/grade.h"
+
+namespace simdc::device {
+
+/// APK lifecycle stages (Table I).
+enum class ApkStage : int {
+  kNoApk = 1,         // background cleared, APK not running
+  kApkLaunch = 2,     // APK starting, training not begun
+  kTraining = 3,      // local training running
+  kPostTraining = 4,  // training done, APK still active (e.g. waiting)
+  kApkClosure = 5,    // exiting APK, clearing background
+};
+
+constexpr std::array<ApkStage, 5> kAllStages = {
+    ApkStage::kNoApk, ApkStage::kApkLaunch, ApkStage::kTraining,
+    ApkStage::kPostTraining, ApkStage::kApkClosure};
+
+constexpr const char* ToString(ApkStage stage) {
+  switch (stage) {
+    case ApkStage::kNoApk: return "no APK initiated";
+    case ApkStage::kApkLaunch: return "APK launch";
+    case ApkStage::kTraining: return "Training";
+    case ApkStage::kPostTraining: return "Post-training";
+    case ApkStage::kApkClosure: return "Closure of APK";
+  }
+  return "?";
+}
+
+class PowerModel {
+ public:
+  /// `noise_fraction` scales multiplicative sampling noise on reads.
+  explicit PowerModel(DeviceGrade grade, double noise_fraction = 0.04)
+      : grade_(grade), noise_fraction_(noise_fraction) {}
+
+  /// Mean stage current in milliamps (Table I calibration).
+  double MeanCurrentMa(ApkStage stage) const;
+
+  /// Instantaneous current_now reading in microamps, with sampling noise.
+  /// Negative sign convention (discharging) matches Android sysfs.
+  std::int64_t CurrentNowMicroAmps(ApkStage stage, Rng& rng) const;
+
+  /// Instantaneous voltage_now reading in microvolts (~3.85 V nominal,
+  /// sagging slightly under load).
+  std::int64_t VoltageNowMicroVolts(ApkStage stage, Rng& rng) const;
+
+  DeviceGrade grade() const { return grade_; }
+
+ private:
+  DeviceGrade grade_;
+  double noise_fraction_;
+};
+
+}  // namespace simdc::device

@@ -1,0 +1,125 @@
+// DeviceFlow — the programmable device-behavior traffic controller (§V).
+//
+// Architecture (Fig. 4): the Sorter receives messages from the
+// computational clusters and shelves them by task_id; one Dispatcher per
+// Shelf executes the task's user-defined Strategy, pulling pending
+// messages and delivering them to the downstream cloud service. Dispatchers
+// of different tasks are fully independent ("the dispatch processes of
+// different tasks remain isolated and do not interfere").
+//
+// From the edge's perspective DeviceFlow is a cloud proxy; from the
+// cloud's perspective it *is* the device population — including its
+// dropouts, bursts and diurnal traffic shapes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "flow/message.h"
+#include "flow/strategy.h"
+#include "sim/event_loop.h"
+
+namespace simdc::flow {
+
+/// Downstream consumer (the cloud service / aggregation endpoint).
+class CloudEndpoint {
+ public:
+  virtual ~CloudEndpoint() = default;
+  virtual void Deliver(const Message& message, SimTime arrival) = 0;
+};
+
+/// Per-task dispatch accounting (drives Fig. 10 and Table II).
+struct DispatchStats {
+  std::size_t received = 0;
+  std::size_t sent = 0;
+  std::size_t dropped = 0;
+  /// (dispatch time, messages dispatched) per executed batch/slot.
+  std::vector<std::pair<SimTime, std::size_t>> batches;
+};
+
+/// FIFO buffer of pending messages for one task (Fig. 4's "Shelf").
+class Shelf {
+ public:
+  void Put(Message message) { messages_.push_back(std::move(message)); }
+
+  /// Removes and returns up to `count` oldest messages.
+  std::vector<Message> Take(std::size_t count);
+
+  std::size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+
+ private:
+  std::deque<Message> messages_;
+};
+
+/// Executes one task's strategy against its shelf (Fig. 4's "Dispatcher").
+class Dispatcher {
+ public:
+  Dispatcher(sim::EventLoop& loop, TaskId task, DispatchStrategy strategy,
+             CloudEndpoint* downstream, std::uint64_t seed);
+
+  /// Message ingress (already sorted to this task).
+  void OnMessage(Message message);
+
+  /// Round lifecycle hooks from the computational clusters (§V-A: clusters
+  /// send signals at "the initiation and completion of each round").
+  void OnRoundStart(std::size_t round);
+  void OnRoundEnd(std::size_t round);
+
+  const DispatchStats& stats() const { return stats_; }
+  const Shelf& shelf() const { return shelf_; }
+  TaskId task() const { return task_; }
+
+ private:
+  /// Takes up to `count` from the shelf, applies dropout, rate-limits
+  /// delivery to the downstream endpoint.
+  void DispatchBatch(std::size_t count, double failure_probability,
+                     std::size_t random_discard);
+  void PumpRealtime();
+
+  sim::EventLoop& loop_;
+  TaskId task_;
+  DispatchStrategy strategy_;
+  CloudEndpoint* downstream_;
+  Rng rng_;
+  Shelf shelf_;
+  DispatchStats stats_;
+  /// Threshold-cycle position for RealtimeAccumulated.
+  std::size_t threshold_cursor_ = 0;
+  /// Rate limiter: earliest time the next message may leave.
+  SimTime next_send_time_ = 0;
+};
+
+/// The DeviceFlow service: Sorter + per-task Shelf/Dispatcher/Strategy.
+class DeviceFlow {
+ public:
+  explicit DeviceFlow(sim::EventLoop& loop) : loop_(loop) {}
+
+  /// Registers a task with its strategy and downstream service.
+  Status ConfigureTask(TaskId task, DispatchStrategy strategy,
+                       CloudEndpoint* downstream, std::uint64_t seed = 0);
+  Status RemoveTask(TaskId task);
+
+  /// Sorter entry point: routes by message.task (§V-A).
+  Status OnMessage(Message message);
+
+  Status OnRoundStart(TaskId task, std::size_t round);
+  Status OnRoundEnd(TaskId task, std::size_t round);
+
+  const Dispatcher* FindDispatcher(TaskId task) const;
+  Dispatcher* FindDispatcher(TaskId task);
+  std::size_t num_tasks() const { return dispatchers_.size(); }
+
+ private:
+  sim::EventLoop& loop_;
+  std::unordered_map<TaskId, std::unique_ptr<Dispatcher>> dispatchers_;
+};
+
+}  // namespace simdc::flow

@@ -1,0 +1,93 @@
+// User-definable transmission-rate functions y = f(t).
+//
+// §V-B: "The transmission rate function y must be a single-valued, bounded,
+// non-negative continuous function, supporting piecewise continuity."
+// Table II evaluates DeviceFlow's fidelity on N(0,1), N(0,2), sin(t)+1,
+// cos(t)+1, 2^t and 10^t over given domains; Fig. 9 uses right-tailed
+// normal curves N(0,σ).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace simdc::flow {
+
+namespace detail {
+inline std::string FormatSigma(double sigma) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", sigma);
+  return buf;
+}
+}  // namespace detail
+
+/// A rate curve over a closed domain [lo, hi]. The domain is later scaled
+/// to the user's actual dispatch interval (§V-B: "the domain of t is a
+/// closed interval, which can be scaled to align with the user-defined
+/// specific time interval").
+struct RateFunction {
+  std::function<double(double)> f;
+  double domain_lo = 0.0;
+  double domain_hi = 1.0;
+  std::string name = "custom";
+
+  double operator()(double t) const { return f(t); }
+  double domain_width() const { return domain_hi - domain_lo; }
+};
+
+/// Gaussian density (unnormalized), domain [-4, 4] by default (Table II).
+inline RateFunction NormalCurve(double sigma, double lo = -4.0,
+                                double hi = 4.0) {
+  return RateFunction{
+      [sigma](double t) { return std::exp(-t * t / (2.0 * sigma * sigma)); },
+      lo, hi, "N(0," + detail::FormatSigma(sigma) + ")"};
+}
+
+/// Right tail of N(0,σ): domain [0, 4σ] — the Fig. 9 response curves
+/// ("right-tailed normal distributions").
+inline RateFunction RightTailedNormal(double sigma) {
+  return RateFunction{
+      [sigma](double t) { return std::exp(-t * t / (2.0 * sigma * sigma)); },
+      0.0, 4.0 * sigma,
+      "right-tail N(0," + detail::FormatSigma(sigma) + ")"};
+}
+
+/// sin(t)+1 on [0, 6π] (Table II).
+inline RateFunction SinPlusOne() {
+  return RateFunction{[](double t) { return std::sin(t) + 1.0; }, 0.0,
+                      6.0 * M_PI, "sin(t)+1"};
+}
+
+/// cos(t)+1 on [0, 6π] (Table II).
+inline RateFunction CosPlusOne() {
+  return RateFunction{[](double t) { return std::cos(t) + 1.0; }, 0.0,
+                      6.0 * M_PI, "cos(t)+1"};
+}
+
+/// 2^t on [0, 3] (Table II).
+inline RateFunction TwoPowT() {
+  return RateFunction{[](double t) { return std::pow(2.0, t); }, 0.0, 3.0,
+                      "2^t"};
+}
+
+/// 10^t on [0, 3] (Table II).
+inline RateFunction TenPowT() {
+  return RateFunction{[](double t) { return std::pow(10.0, t); }, 0.0, 3.0,
+                      "10^t"};
+}
+
+/// Diurnal usage curve: two activity peaks (morning / evening) — used by
+/// the day-scale example mirroring Fig. 10's 2:00–22:00 axis.
+inline RateFunction DiurnalCurve() {
+  return RateFunction{
+      [](double t) {
+        const double morning = std::exp(-(t - 9.5) * (t - 9.5) / 4.5);
+        const double evening = 1.6 * std::exp(-(t - 20.0) * (t - 20.0) / 3.0);
+        return morning + evening + 0.05;
+      },
+      0.0, 24.0, "diurnal"};
+}
+
+}  // namespace simdc::flow

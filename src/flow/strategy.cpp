@@ -1,0 +1,93 @@
+#include "flow/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace simdc::flow {
+namespace {
+
+/// Area under `rate` across one slot via 8-point midpoint quadrature.
+double SlotAuc(const RateFunction& rate, double lo, double hi) {
+  constexpr int kSamples = 8;
+  const double width = hi - lo;
+  double area = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = lo + width * (static_cast<double>(i) + 0.5) /
+                              static_cast<double>(kSamples);
+    area += std::max(0.0, rate(t));
+  }
+  return area * width / kSamples;
+}
+
+}  // namespace
+
+std::vector<SlotPlan> DiscretizeRate(const RateFunction& rate,
+                                     SimDuration interval,
+                                     std::size_t total_messages,
+                                     double capacity_per_second,
+                                     std::size_t min_slots,
+                                     std::size_t max_slots) {
+  SIMDC_CHECK(interval > 0, "dispatch interval must be positive");
+  SIMDC_CHECK(rate.domain_hi > rate.domain_lo, "empty rate-function domain");
+  SIMDC_CHECK(capacity_per_second > 0, "capacity must be positive");
+  if (total_messages == 0) return {};
+
+  // Grow the slot count until "the number of messages sent at any single
+  // point does not exceed the transmission capacity limit" (§V-B): the
+  // peak slot must dispatch at most one second's worth of the
+  // single-threaded sender's throughput. Any residual burstiness is
+  // absorbed by the dispatcher's rate limiter, which is exactly the
+  // spreading the paper notes for Fig. 10(b).
+  std::size_t slots = std::max<std::size_t>(2, min_slots);
+  std::vector<double> areas;
+  const double per_point_budget = std::max(1.0, capacity_per_second);
+  for (;; slots = std::min(slots * 2, max_slots)) {
+    areas.assign(slots, 0.0);
+    const double width = rate.domain_width() / static_cast<double>(slots);
+    double total_area = 0.0;
+    for (std::size_t i = 0; i < slots; ++i) {
+      const double lo = rate.domain_lo + width * static_cast<double>(i);
+      areas[i] = SlotAuc(rate, lo, lo + width);
+      total_area += areas[i];
+    }
+    SIMDC_CHECK(total_area > 0.0, "rate function integrates to zero");
+    for (double& a : areas) a /= total_area;  // AUC ratios
+
+    const double peak_count =
+        *std::max_element(areas.begin(), areas.end()) *
+        static_cast<double>(total_messages);
+    if (peak_count <= per_point_budget || slots >= max_slots) {
+      break;
+    }
+  }
+
+  // Largest-remainder apportionment: counts sum exactly to total_messages.
+  std::vector<SlotPlan> plan(slots);
+  std::vector<std::pair<double, std::size_t>> remainders(slots);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const double exact = areas[i] * static_cast<double>(total_messages);
+    const auto base = static_cast<std::size_t>(exact);
+    plan[i].offset = static_cast<SimTime>(
+        static_cast<double>(interval) * static_cast<double>(i) /
+        static_cast<double>(slots));
+    plan[i].count = base;
+    assigned += base;
+    remainders[i] = {exact - static_cast<double>(base), i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic tie-break
+            });
+  for (std::size_t k = 0; assigned < total_messages; ++k) {
+    ++plan[remainders[k % slots].second].count;
+    ++assigned;
+  }
+  return plan;
+}
+
+}  // namespace simdc::flow

@@ -1,0 +1,59 @@
+#include "ml/fedavg.h"
+
+#include <algorithm>
+
+namespace simdc::ml {
+
+Status FedAvgAggregator::Add(const LrModel& model, std::size_t sample_count) {
+  if (model.dim() != dim()) {
+    return InvalidArgument("FedAvg: model dim " + std::to_string(model.dim()) +
+                           " != aggregator dim " + std::to_string(dim()));
+  }
+  if (sample_count == 0) {
+    return InvalidArgument("FedAvg: client update with zero samples");
+  }
+  const auto w = static_cast<double>(sample_count);
+  const auto weights = model.weights();
+  for (std::size_t i = 0; i < accumulator_.size(); ++i) {
+    accumulator_[i] += w * static_cast<double>(weights[i]);
+  }
+  bias_accumulator_ += w * static_cast<double>(model.bias());
+  total_samples_ += sample_count;
+  ++clients_;
+  return Status::Ok();
+}
+
+Result<LrModel> FedAvgAggregator::Aggregate() const {
+  if (total_samples_ == 0) {
+    return FailedPrecondition("FedAvg: no client updates to aggregate");
+  }
+  LrModel model(dim());
+  const auto total = static_cast<double>(total_samples_);
+  auto weights = model.weights();
+  for (std::size_t i = 0; i < accumulator_.size(); ++i) {
+    weights[i] = static_cast<float>(accumulator_[i] / total);
+  }
+  model.bias() = static_cast<float>(bias_accumulator_ / total);
+  return model;
+}
+
+void FedAvgAggregator::Reset() {
+  std::fill(accumulator_.begin(), accumulator_.end(), 0.0);
+  bias_accumulator_ = 0.0;
+  total_samples_ = 0;
+  clients_ = 0;
+}
+
+Result<LrModel> FedAvg(std::span<const ClientUpdate> updates) {
+  if (updates.empty()) {
+    return InvalidArgument("FedAvg: empty update set");
+  }
+  FedAvgAggregator aggregator(updates.front().model.dim());
+  for (const auto& update : updates) {
+    const Status added = aggregator.Add(update.model, update.sample_count);
+    if (!added.ok()) return added.error();
+  }
+  return aggregator.Aggregate();
+}
+
+}  // namespace simdc::ml

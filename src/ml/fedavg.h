@@ -1,0 +1,60 @@
+// FedAvg aggregation (McMahan et al., AISTATS 2017) — the aggregation
+// strategy the paper uses for its CTR experiments (§II-A, §VI-A).
+//
+// The global objective is min_w Σ_k p_k F_k(w; D_k) with p_k proportional
+// to client dataset sizes; one aggregation step averages client models
+// weighted by their sample counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "ml/lr_model.h"
+
+namespace simdc::ml {
+
+/// One client's contribution to a round.
+struct ClientUpdate {
+  LrModel model;
+  /// Number of local training samples (p_k numerator).
+  std::size_t sample_count = 0;
+  /// Identifier kept for diagnostics.
+  std::uint64_t client_id = 0;
+};
+
+/// Streaming FedAvg aggregator. Feed updates as they arrive (possibly
+/// across a DeviceFlow-shaped schedule), then call Aggregate() when the
+/// trigger condition fires.
+class FedAvgAggregator {
+ public:
+  explicit FedAvgAggregator(std::uint32_t dim) : accumulator_(dim) {}
+
+  /// Adds one client model weighted by its sample count.
+  Status Add(const LrModel& model, std::size_t sample_count);
+
+  /// Weighted-average model of everything added since the last Reset.
+  /// Fails when no samples were added.
+  Result<LrModel> Aggregate() const;
+
+  void Reset();
+
+  std::size_t clients() const { return clients_; }
+  std::size_t total_samples() const { return total_samples_; }
+
+ private:
+  /// Accumulates weight * sample_count in double precision.
+  std::vector<double> accumulator_;
+  double bias_accumulator_ = 0.0;
+  std::size_t total_samples_ = 0;
+  std::size_t clients_ = 0;
+  std::uint32_t dim() const {
+    return static_cast<std::uint32_t>(accumulator_.size());
+  }
+};
+
+/// One-shot convenience: FedAvg over a batch of updates.
+Result<LrModel> FedAvg(std::span<const ClientUpdate> updates);
+
+}  // namespace simdc::ml

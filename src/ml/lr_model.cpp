@@ -1,0 +1,54 @@
+#include "ml/lr_model.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace simdc::ml {
+
+double LrModel::DistanceTo(const LrModel& other) const {
+  SIMDC_CHECK(dim() == other.dim(), "model dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const double d = static_cast<double>(weights_[i]) - other.weights_[i];
+    sum += d * d;
+  }
+  const double db = static_cast<double>(bias_) - other.bias_;
+  sum += db * db;
+  return std::sqrt(sum);
+}
+
+std::vector<std::byte> LrModel::ToBytes() const {
+  std::vector<std::byte> out(SerializedSize());
+  std::byte* p = out.data();
+  const std::uint32_t d = dim();
+  std::memcpy(p, &d, sizeof(d));
+  p += sizeof(d);
+  std::memcpy(p, &bias_, sizeof(bias_));
+  p += sizeof(bias_);
+  std::memcpy(p, weights_.data(), weights_.size() * sizeof(float));
+  return out;
+}
+
+Result<LrModel> LrModel::FromBytes(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(std::uint32_t) + sizeof(float)) {
+    return ParseError("model blob too small");
+  }
+  std::uint32_t d = 0;
+  const std::byte* p = bytes.data();
+  std::memcpy(&d, p, sizeof(d));
+  p += sizeof(d);
+  const std::size_t expected =
+      sizeof(std::uint32_t) + sizeof(float) + static_cast<std::size_t>(d) * sizeof(float);
+  if (bytes.size() != expected) {
+    return ParseError("model blob size mismatch: got " +
+                      std::to_string(bytes.size()) + ", want " +
+                      std::to_string(expected));
+  }
+  LrModel model(d);
+  std::memcpy(&model.bias_, p, sizeof(float));
+  p += sizeof(float);
+  std::memcpy(model.weights_.data(), p, static_cast<std::size_t>(d) * sizeof(float));
+  return model;
+}
+
+}  // namespace simdc::ml

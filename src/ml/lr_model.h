@@ -1,0 +1,67 @@
+// Logistic-regression CTR model over hashed sparse features.
+//
+// The paper (§VI-A) trains LR with FedAvg (learning rate 1e-3, 10 local
+// epochs) because "the industry currently favors simpler and more efficient
+// models for CTR prediction in edge-cloud scenarios". The model is a dense
+// weight vector over the feature-hashing space plus a bias.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "data/example.h"
+
+namespace simdc::ml {
+
+class LrModel {
+ public:
+  explicit LrModel(std::uint32_t dim) : weights_(dim, 0.0f) {}
+
+  std::uint32_t dim() const { return static_cast<std::uint32_t>(weights_.size()); }
+
+  /// Raw score (log-odds) for an example.
+  double Score(const data::Example& example) const {
+    double s = bias_;
+    for (std::uint32_t idx : example.features) s += weights_[idx];
+    return s;
+  }
+
+  /// Click probability.
+  double Predict(const data::Example& example) const {
+    return 1.0 / (1.0 + std::exp(-Score(example)));
+  }
+
+  std::span<float> weights() { return weights_; }
+  std::span<const float> weights() const { return weights_; }
+  float& bias() { return bias_; }
+  float bias() const { return bias_; }
+
+  void SetZero() {
+    std::fill(weights_.begin(), weights_.end(), 0.0f);
+    bias_ = 0.0f;
+  }
+
+  /// L2 distance to another model (same dim required).
+  double DistanceTo(const LrModel& other) const;
+
+  /// Wire format: dim, bias, weights — the blob devices upload to storage.
+  std::vector<std::byte> ToBytes() const;
+  static Result<LrModel> FromBytes(std::span<const std::byte> bytes);
+
+  /// Serialized size in bytes (what DeviceFlow/storage accounting uses).
+  std::size_t SerializedSize() const {
+    return sizeof(std::uint32_t) + sizeof(float) +
+           weights_.size() * sizeof(float);
+  }
+
+ private:
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace simdc::ml

@@ -1,0 +1,74 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace simdc::ml {
+
+double Accuracy(const LrModel& model, std::span<const data::Example> examples,
+                double threshold) {
+  if (examples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& example : examples) {
+    const bool predicted = model.Predict(example) >= threshold;
+    const bool actual = example.label > 0.5f;
+    correct += predicted == actual ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+double LogLoss(const LrModel& model,
+               std::span<const data::Example> examples) {
+  if (examples.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& example : examples) {
+    const double p = std::clamp(model.Predict(example), 1e-12, 1.0 - 1e-12);
+    total += example.label > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(examples.size());
+}
+
+double Auc(const LrModel& model, std::span<const data::Example> examples) {
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(examples.size());
+  std::size_t positives = 0;
+  for (const auto& example : examples) {
+    const bool positive = example.label > 0.5f;
+    positives += positive ? 1 : 0;
+    scored.emplace_back(model.Score(example), positive);
+  }
+  const std::size_t negatives = scored.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Sum of ranks of positives, averaging ranks across tied scores.
+  double positive_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < scored.size()) {
+    std::size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (scored[k].second) positive_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const auto np = static_cast<double>(positives);
+  const auto nn = static_cast<double>(negatives);
+  return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+EvalReport Evaluate(const LrModel& model,
+                    std::span<const data::Example> examples) {
+  EvalReport report;
+  report.accuracy = Accuracy(model, examples);
+  report.logloss = LogLoss(model, examples);
+  report.auc = Auc(model, examples);
+  report.examples = examples.size();
+  return report;
+}
+
+}  // namespace simdc::ml

@@ -1,0 +1,32 @@
+// Evaluation metrics for the CTR task: accuracy, log-loss and AUC.
+#pragma once
+
+#include <span>
+
+#include "data/example.h"
+#include "ml/lr_model.h"
+
+namespace simdc::ml {
+
+/// Fraction of examples where thresholded prediction matches the label.
+double Accuracy(const LrModel& model, std::span<const data::Example> examples,
+                double threshold = 0.5);
+
+/// Mean binary cross-entropy (clamped probabilities).
+double LogLoss(const LrModel& model, std::span<const data::Example> examples);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+/// Returns 0.5 when one class is absent.
+double Auc(const LrModel& model, std::span<const data::Example> examples);
+
+struct EvalReport {
+  double accuracy = 0.0;
+  double logloss = 0.0;
+  double auc = 0.0;
+  std::size_t examples = 0;
+};
+
+EvalReport Evaluate(const LrModel& model,
+                    std::span<const data::Example> examples);
+
+}  // namespace simdc::ml

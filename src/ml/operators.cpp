@@ -1,0 +1,93 @@
+#include "ml/operators.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simdc::ml {
+namespace {
+
+/// Epoch ordering shared by both kernels so their only differences are
+/// numerical (precision / traversal order), not statistical.
+std::vector<std::size_t> EpochOrder(std::size_t n, bool shuffle, Rng& rng) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle) rng.Shuffle(order);
+  return order;
+}
+
+}  // namespace
+
+void ServerLrOperator::Train(LrModel& model,
+                             std::span<const data::Example> examples,
+                             const TrainConfig& config) const {
+  if (examples.empty()) return;
+  Rng rng(config.shuffle_seed);
+  auto weights = model.weights();
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = EpochOrder(examples.size(), config.shuffle, rng);
+    for (const std::size_t i : order) {
+      const auto& example = examples[i];
+      // Double-precision forward pass, canonical feature order.
+      double score = static_cast<double>(model.bias());
+      for (std::uint32_t idx : example.features) {
+        score += static_cast<double>(weights[idx]);
+      }
+      const double probability = 1.0 / (1.0 + std::exp(-score));
+      const double gradient = probability - static_cast<double>(example.label);
+      const double step = config.learning_rate * gradient;
+      for (std::uint32_t idx : example.features) {
+        weights[idx] = static_cast<float>(static_cast<double>(weights[idx]) - step);
+      }
+      model.bias() = static_cast<float>(static_cast<double>(model.bias()) - step);
+    }
+  }
+}
+
+void MobileLrOperator::Train(LrModel& model,
+                             std::span<const data::Example> examples,
+                             const TrainConfig& config) const {
+  if (examples.empty()) return;
+  // An independent RNG stream: the C++ MNN runtime does not share the
+  // Python stack's shuffling, so the per-epoch visit order differs. This
+  // (not float rounding) is the dominant source of the small cross-venue
+  // divergence Fig. 6 quantifies.
+  Rng rng(SplitMix64(config.shuffle_seed ^ 0x4D4F42494C45ULL));
+  auto weights = model.weights();
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = EpochOrder(examples.size(), config.shuffle, rng);
+    for (const std::size_t i : order) {
+      const auto& example = examples[i];
+      // Single-precision forward pass, reversed traversal — mirrors the
+      // different accumulation order a fused mobile kernel produces.
+      float score = model.bias();
+      for (auto it = example.features.rbegin(); it != example.features.rend();
+           ++it) {
+        score += weights[*it];
+      }
+      // expf: the mobile math library's single-precision exponential.
+      const float probability = 1.0f / (1.0f + ::expf(-score));
+      const float step =
+          static_cast<float>(config.learning_rate) * (probability - example.label);
+      for (auto it = example.features.rbegin(); it != example.features.rend();
+           ++it) {
+        weights[*it] -= step;
+      }
+      model.bias() -= step;
+    }
+  }
+}
+
+std::unique_ptr<TrainingOperator> MakeLrOperator(OperatorVenue venue) {
+  switch (venue) {
+    case OperatorVenue::kServer:
+      return std::make_unique<ServerLrOperator>();
+    case OperatorVenue::kMobile:
+      return std::make_unique<MobileLrOperator>();
+  }
+  return nullptr;
+}
+
+}  // namespace simdc::ml

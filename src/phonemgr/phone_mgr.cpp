@@ -1,0 +1,338 @@
+#include "phonemgr/phone_mgr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adb/parsers.h"
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace simdc::device {
+namespace {
+
+constexpr double kClosureSeconds = 15.0;  // Table I stage 5: 0.25 min
+
+}  // namespace
+
+PhoneId PhoneMgr::RegisterPhone(const PhoneSpec& spec) {
+  Entry entry;
+  entry.phone = std::make_unique<Phone>(spec, loop_.clock());
+  entry.adb = std::make_unique<adb::AdbServer>(*entry.phone);
+  phones_.push_back(std::move(entry));
+  return spec.id;
+}
+
+void PhoneMgr::RegisterFleet(const std::vector<PhoneSpec>& fleet) {
+  for (const auto& spec : fleet) RegisterPhone(spec);
+}
+
+Status PhoneMgr::UnregisterPhone(PhoneId id) {
+  for (auto it = phones_.begin(); it != phones_.end(); ++it) {
+    if (it->phone->spec().id != id) continue;
+    if (it->phone->busy()) {
+      return FailedPrecondition("cannot unregister busy phone " +
+                                id.ToString());
+    }
+    phones_.erase(it);
+    return Status::Ok();
+  }
+  return NotFound("unknown phone " + id.ToString());
+}
+
+std::size_t PhoneMgr::CountIdle(DeviceGrade grade) const {
+  std::size_t n = 0;
+  for (const auto& entry : phones_) {
+    if (entry.phone->spec().grade == grade && !entry.phone->busy()) ++n;
+  }
+  return n;
+}
+
+std::size_t PhoneMgr::CountTotal(DeviceGrade grade) const {
+  std::size_t n = 0;
+  for (const auto& entry : phones_) {
+    if (entry.phone->spec().grade == grade) ++n;
+  }
+  return n;
+}
+
+Phone* PhoneMgr::FindPhone(PhoneId id) {
+  for (auto& entry : phones_) {
+    if (entry.phone->spec().id == id) return entry.phone.get();
+  }
+  return nullptr;
+}
+
+const Phone* PhoneMgr::FindPhone(PhoneId id) const {
+  for (const auto& entry : phones_) {
+    if (entry.phone->spec().id == id) return entry.phone.get();
+  }
+  return nullptr;
+}
+
+adb::AdbServer* PhoneMgr::FindAdb(PhoneId id) {
+  for (auto& entry : phones_) {
+    if (entry.phone->spec().id == id) return entry.adb.get();
+  }
+  return nullptr;
+}
+
+std::vector<PhoneMgr::Entry*> PhoneMgr::SelectIdle(DeviceGrade grade,
+                                                   std::size_t count) {
+  std::vector<Entry*> selected;
+  // Prefer local phones; fall back to remote MSP devices.
+  for (const bool want_msp : {false, true}) {
+    for (auto& entry : phones_) {
+      if (selected.size() == count) return selected;
+      if (entry.phone->busy()) continue;
+      const auto& spec = entry.phone->spec();
+      if (spec.grade != grade || spec.remote_msp != want_msp) continue;
+      selected.push_back(&entry);
+    }
+  }
+  return selected;
+}
+
+Result<PhoneJobHandle> PhoneMgr::SubmitJob(const PhoneJob& job) {
+  if (job.rounds == 0) return InvalidArgument("PhoneJob: rounds == 0");
+  if (job.devices_to_simulate > 0 && job.computing_phones == 0) {
+    return InvalidArgument("PhoneJob: devices to simulate but no phones");
+  }
+  const std::size_t want =
+      job.computing_phones + job.benchmarking_phones;
+  if (want == 0) return InvalidArgument("PhoneJob: no phones requested");
+  if (CountIdle(job.grade) < want) {
+    return ResourceExhausted(StrFormat(
+        "PhoneMgr: need %zu idle %s-grade phones, have %zu", want,
+        std::string(ToString(job.grade)).c_str(), CountIdle(job.grade)));
+  }
+
+  auto selected = SelectIdle(job.grade, want);
+  std::vector<Entry*> benchmarking(selected.begin(),
+                                   selected.begin() +
+                                       static_cast<std::ptrdiff_t>(job.benchmarking_phones));
+  std::vector<Entry*> computing(selected.begin() +
+                                    static_cast<std::ptrdiff_t>(job.benchmarking_phones),
+                                selected.end());
+
+  PhoneJobHandle handle;
+  handle.task = job.task;
+  InstallPlans(job, computing, benchmarking, handle);
+
+  for (Entry* entry : benchmarking) {
+    entry->phone->set_benchmarking(true);
+    ArmSampler(*entry, job);
+  }
+
+  // Completion: free phones and fire the callback at the latest closure.
+  std::vector<PhoneId> all_ids = handle.computing;
+  all_ids.insert(all_ids.end(), handle.benchmarking.begin(),
+                 handle.benchmarking.end());
+  const TaskId task = job.task;
+  auto on_complete = job.on_complete;
+  loop_.ScheduleAt(handle.finish_time, [this, all_ids, task, on_complete] {
+    for (PhoneId id : all_ids) {
+      if (Phone* phone = FindPhone(id)) {
+        phone->set_busy(false);
+        phone->set_benchmarking(false);
+      }
+    }
+    if (on_complete) on_complete(task, loop_.Now());
+  });
+  return handle;
+}
+
+void PhoneMgr::InstallPlans(const PhoneJob& job,
+                            std::vector<Entry*>& computing,
+                            std::vector<Entry*>& benchmarking,
+                            PhoneJobHandle& handle) {
+  const SimTime now = loop_.Now();
+  // Devices multiplex over computing phones: each phone sequentially
+  // simulates ceil(N/m) devices per round (paper §IV-B: a single physical
+  // device is "capable of repetitive emulation of multiple devices").
+  const std::size_t reps =
+      computing.empty() ? 0
+                        : (job.devices_to_simulate + computing.size() - 1) /
+                              computing.size();
+
+  auto install = [&](Entry& entry, std::size_t device_batches) {
+    const SimTime train_window =
+        Seconds(job.round_duration_s * static_cast<double>(
+                                           std::max<std::size_t>(1, device_batches)));
+    // Crash draws are deterministic per (job seed, phone); the entire
+    // schedule — including crash truncations and recovery relaunches — is
+    // computed up front, so phone state stays a pure function of time.
+    Rng crash_rng =
+        Rng(job.seed ^ job.task.value()).Split(entry.phone->spec().id.value());
+
+    RunPlan plan;
+    plan.apk_launch_start = now + Seconds(job.pre_idle_s);
+    plan.pid = next_pid_++;
+    SimTime cursor = plan.apk_launch_start + Seconds(job.startup_s);
+    SimTime end = 0;
+    std::size_t round = 0;
+    std::size_t attempts = 0;
+    while (round < job.rounds) {
+      const bool crash = job.crash_probability > 0.0 &&
+                         crash_rng.Bernoulli(job.crash_probability);
+      RoundWindow window;
+      window.train_start = cursor;
+      window.download_bytes = job.download_bytes;
+      if (crash) {
+        // The APK dies partway through the round: no upload, abrupt
+        // closure, then a recovery relaunch that retries the round.
+        ++handle.crashes;
+        const double fraction = crash_rng.Uniform(0.1, 0.9);
+        window.train_end =
+            cursor + std::max<SimTime>(
+                         1, static_cast<SimTime>(
+                                static_cast<double>(train_window) * fraction));
+        window.upload_bytes = 0;
+        plan.rounds.push_back(window);
+        plan.closure_start = window.train_end;
+        plan.closure_end = window.train_end + Seconds(1.0);
+        const SimTime relaunch =
+            plan.closure_end + Seconds(job.crash_recovery_s);
+        entry.phone->ScheduleRun(std::move(plan));
+        plan = RunPlan{};
+        plan.apk_launch_start = relaunch;
+        plan.pid = next_pid_++;
+        cursor = relaunch + Seconds(job.startup_s);
+        if (++attempts >= job.max_round_attempts) {
+          ++handle.abandoned_rounds;
+          attempts = 0;
+          ++round;  // give up on this round
+        }
+        continue;
+      }
+      window.train_end = cursor + train_window;
+      window.upload_bytes = job.upload_bytes;
+      plan.rounds.push_back(window);
+      // Fire the round-completion hook (message to DeviceFlow).
+      if (job.on_round_complete) {
+        const PhoneId id = entry.phone->spec().id;
+        auto hook = job.on_round_complete;
+        const std::size_t completed = round;
+        loop_.ScheduleAt(window.train_end, [hook, id, completed, this] {
+          hook(id, completed, loop_.Now());
+        });
+      }
+      cursor = window.train_end + Seconds(job.aggregation_wait_s);
+      attempts = 0;
+      ++round;
+    }
+    if (plan.rounds.empty()) {
+      // Every round of the final segment crashed away; the previous
+      // segment already closed the APK.
+      end = cursor;
+    } else {
+      plan.closure_start = cursor;
+      plan.closure_end = cursor + Seconds(kClosureSeconds);
+      end = plan.closure_end;
+      entry.phone->ScheduleRun(std::move(plan));
+    }
+    entry.phone->set_busy(true);
+    entry.owner = job.task;
+    handle.finish_time = std::max(handle.finish_time, end);
+  };
+
+  for (Entry* entry : computing) {
+    install(*entry, reps);
+    handle.computing.push_back(entry->phone->spec().id);
+  }
+  for (Entry* entry : benchmarking) {
+    // Benchmarking devices train exactly one device's workload per round.
+    install(*entry, 1);
+    handle.benchmarking.push_back(entry->phone->spec().id);
+  }
+}
+
+void PhoneMgr::ArmSampler(Entry& entry, const PhoneJob& job) {
+  const RunPlan* plan = entry.phone->plan();
+  if (plan == nullptr) return;
+  const std::string process = plan->process_name;
+  const TaskId task = job.task;
+  const PhoneId phone_id = entry.phone->spec().id;
+  adb::AdbServer* shell = entry.adb.get();
+  Phone* phone = entry.phone.get();
+
+  // Sampling starts immediately (covering the pre-launch idle stage) and
+  // runs through APK closure.
+  for (SimTime t = loop_.Now(); t <= plan->closure_end;
+       t += job.sample_period) {
+    loop_.ScheduleAt(t, [this, shell, phone, process, task, phone_id] {
+      if (sink_ == nullptr) return;
+      // A real deployment issues these exact ADB commands (§IV-C) and
+      // post-processes the text; we do the same against the simulation.
+      PerfSample sample;
+      sample.phone = phone_id;
+      sample.task = task;
+      sample.time = loop_.Now();
+      sample.stage = phone->CurrentStage();
+
+      if (auto out = shell->Shell(
+              "cat /sys/class/power_supply/battery/current_now");
+          out.ok()) {
+        if (auto v = adb::ParseSysfsValue(*out); v.ok()) sample.current_ua = *v;
+      }
+      if (auto out = shell->Shell(
+              "cat /sys/class/power_supply/battery/voltage_now");
+          out.ok()) {
+        if (auto v = adb::ParseSysfsValue(*out); v.ok()) {
+          sample.voltage_mv = static_cast<double>(*v) / 1000.0;
+        }
+      }
+      if (auto pgrep = shell->Shell("pgrep -f " + process); pgrep.ok()) {
+        if (auto pid = adb::ParsePgrepPid(*pgrep); pid.ok()) {
+          if (auto top = shell->Shell(StrFormat("top -b -n 1 -p %d", *pid));
+              top.ok()) {
+            if (auto cpu = adb::ParseTopCpuPercent(*top, *pid); cpu.ok()) {
+              sample.cpu_percent = *cpu;
+            }
+          }
+          if (auto mem = shell->Shell("dumpsys meminfo " + process); mem.ok()) {
+            if (auto pss = adb::ParseDumpsysPssKb(*mem); pss.ok()) {
+              sample.memory_kb = *pss;
+            }
+          }
+          if (auto net = shell->Shell(StrFormat("cat /proc/%d/net/dev", *pid));
+              net.ok()) {
+            if (auto wlan = adb::ParseNetDevWlan(*net); wlan.ok()) {
+              sample.bandwidth_bytes = wlan->total();
+            }
+          }
+        }
+      }
+      sink_->Record(sample);
+    });
+  }
+}
+
+Status PhoneMgr::TerminateTask(TaskId task) {
+  bool found = false;
+  for (auto& entry : phones_) {
+    if (entry.owner == task && entry.phone->busy()) {
+      entry.phone->ClearPlan();
+      entry.phone->set_busy(false);
+      entry.phone->set_benchmarking(false);
+      entry.owner = TaskId();
+      found = true;
+    }
+  }
+  if (!found) return NotFound("no running phones for " + task.ToString());
+  return Status::Ok();
+}
+
+double PhoneMgr::PredictJobSeconds(const PhoneJob& job) {
+  const std::size_t reps =
+      job.computing_phones == 0
+          ? 1
+          : (job.devices_to_simulate + job.computing_phones - 1) /
+                job.computing_phones;
+  const double per_round =
+      job.round_duration_s * static_cast<double>(std::max<std::size_t>(1, reps));
+  return job.startup_s +
+         static_cast<double>(job.rounds) * (per_round + job.aggregation_wait_s) +
+         kClosureSeconds;
+}
+
+}  // namespace simdc::device

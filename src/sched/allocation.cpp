@@ -1,0 +1,241 @@
+#include "sched/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+namespace simdc::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t CeilDiv(std::size_t a, std::size_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Logical-simulation seconds for grade `g` running x devices.
+double LogicalTime(const GradeAllocationInput& g, std::size_t x) {
+  if (x == 0) return 0.0;
+  if (g.logical_bundles == 0) return kInf;
+  return static_cast<double>(CeilDiv(g.bundles_per_device * x,
+                                     g.logical_bundles)) *
+         g.alpha_s;
+}
+
+/// Device-simulation seconds for grade `g` with `remaining` computing
+/// devices on phones. Benchmarking phones always incur λ (they run on
+/// phones by definition); with neither computing nor benchmarking devices
+/// the phone side is untouched and costs nothing.
+double DeviceTime(const GradeAllocationInput& g, std::size_t remaining) {
+  if (remaining == 0) {
+    return g.benchmarking > 0 ? g.beta_s + g.lambda_s : 0.0;
+  }
+  if (g.phones == 0) return kInf;
+  return static_cast<double>(CeilDiv(remaining, g.phones)) * g.beta_s +
+         g.lambda_s;
+}
+
+/// Feasible x-interval for one grade at makespan budget T.
+/// Returns false when the grade cannot meet T at all.
+bool FeasibleInterval(const GradeAllocationInput& g, double T,
+                      std::size_t* x_min, std::size_t* x_max) {
+  const std::size_t R = g.placeable();
+
+  // Upper bound from the logical constraint: ceil(k·x/f)·α ≤ T.
+  std::size_t max_logical;
+  if (g.logical_bundles == 0 || g.alpha_s <= 0.0) {
+    max_logical = g.logical_bundles == 0 ? 0 : R;
+  } else {
+    const double batches = std::floor(T / g.alpha_s + 1e-9);
+    if (batches <= 0.0) {
+      max_logical = 0;
+    } else {
+      max_logical = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(R),
+                           batches * static_cast<double>(g.logical_bundles) /
+                               static_cast<double>(g.bundles_per_device) + 1e-9));
+    }
+  }
+
+  // Lower bound from the phone constraint: ceil((R−x)/m)·β + λ ≤ T.
+  std::size_t min_logical;
+  if (g.benchmarking > 0 && T + 1e-9 < g.beta_s + g.lambda_s) {
+    return false;  // benchmarking phones alone already exceed T
+  }
+  const double budget = T - g.lambda_s;
+  if (g.phones == 0) {
+    min_logical = R;  // nothing can run on phones
+  } else if (R == 0) {
+    min_logical = 0;
+  } else if (budget + 1e-9 < 0.0 ||
+             (budget + 1e-9 < g.beta_s && R > 0)) {
+    // No time for even one phone batch: everything must go logical.
+    min_logical = R;
+  } else {
+    const double batches = std::floor(budget / g.beta_s + 1e-9);
+    const double max_on_phones =
+        batches * static_cast<double>(g.phones);
+    min_logical = max_on_phones >= static_cast<double>(R)
+                      ? 0
+                      : R - static_cast<std::size_t>(max_on_phones + 1e-9);
+  }
+
+  if (min_logical > max_logical) return false;
+  *x_min = min_logical;
+  *x_max = max_logical;
+  return true;
+}
+
+AllocationResult BuildResult(const std::vector<GradeAllocationInput>& grades,
+                             std::vector<std::size_t> x) {
+  AllocationResult result;
+  result.logical_devices = std::move(x);
+  result.total_seconds =
+      PredictMakespan(grades, result.logical_devices,
+                      &result.logical_seconds, &result.device_seconds);
+  return result;
+}
+
+}  // namespace
+
+double PredictMakespan(const std::vector<GradeAllocationInput>& grades,
+                       const std::vector<std::size_t>& logical_devices,
+                       double* logical_seconds, double* device_seconds) {
+  double tl = 0.0, tp = 0.0;
+  for (std::size_t i = 0; i < grades.size(); ++i) {
+    const auto& g = grades[i];
+    const std::size_t x =
+        std::min(i < logical_devices.size() ? logical_devices[i] : 0,
+                 g.placeable());
+    tl = std::max(tl, LogicalTime(g, x));
+    tp = std::max(tp, DeviceTime(g, g.placeable() - x));
+  }
+  if (logical_seconds != nullptr) *logical_seconds = tl;
+  if (device_seconds != nullptr) *device_seconds = tp;
+  return std::max(tl, tp);
+}
+
+Result<AllocationResult> SolveHybridAllocation(
+    const std::vector<GradeAllocationInput>& grades, bool prefer_logical) {
+  if (grades.empty()) {
+    return InvalidArgument("allocation: no grades supplied");
+  }
+  for (const auto& g : grades) {
+    if (g.benchmarking > g.total_devices) {
+      return InvalidArgument("allocation: benchmarking > total devices");
+    }
+    if (g.placeable() > 0 && g.logical_bundles == 0 && g.phones == 0) {
+      return FailedPrecondition(
+          "allocation: grade has devices but no resources at all");
+    }
+  }
+
+  // Candidate makespans: every achievable per-grade batch count boundary.
+  std::set<double> candidates = {0.0};
+  for (const auto& g : grades) {
+    const std::size_t R = g.placeable();
+    if (g.logical_bundles > 0) {
+      const std::size_t max_batches =
+          CeilDiv(g.bundles_per_device * R, g.logical_bundles);
+      for (std::size_t j = 0; j <= max_batches; ++j) {
+        candidates.insert(static_cast<double>(j) * g.alpha_s);
+      }
+    }
+    if (g.phones > 0) {
+      const std::size_t max_batches = CeilDiv(R, g.phones);
+      for (std::size_t j = 0; j <= max_batches; ++j) {
+        candidates.insert(static_cast<double>(j) * g.beta_s + g.lambda_s);
+      }
+    }
+    if (g.benchmarking > 0) candidates.insert(g.beta_s + g.lambda_s);
+  }
+
+  const std::vector<double> sorted(candidates.begin(), candidates.end());
+  // Binary search the smallest feasible candidate T.
+  std::size_t lo = 0, hi = sorted.size();
+  auto feasible = [&](double T) {
+    std::size_t x_min = 0, x_max = 0;
+    for (const auto& g : grades) {
+      if (!FeasibleInterval(g, T, &x_min, &x_max)) return false;
+    }
+    return true;
+  };
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(sorted[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == sorted.size()) {
+    return FailedPrecondition("allocation: no feasible makespan");
+  }
+  const double best_t = sorted[lo];
+
+  // Secondary objective at T = best_t: extremal x per grade.
+  std::vector<std::size_t> x(grades.size());
+  for (std::size_t i = 0; i < grades.size(); ++i) {
+    std::size_t x_min = 0, x_max = 0;
+    const bool ok = FeasibleInterval(grades[i], best_t, &x_min, &x_max);
+    SIMDC_CHECK(ok, "allocation internal: infeasible at chosen T");
+    x[i] = prefer_logical ? x_max : x_min;
+  }
+  return BuildResult(grades, std::move(x));
+}
+
+Result<AllocationResult> BruteForceAllocation(
+    const std::vector<GradeAllocationInput>& grades, bool prefer_logical) {
+  if (grades.empty()) {
+    return InvalidArgument("allocation: no grades supplied");
+  }
+  std::vector<std::size_t> x(grades.size(), 0);
+  std::vector<std::size_t> best;
+  double best_t = kInf;
+  long long best_sum = -1;
+
+  // Odometer enumeration over all x vectors.
+  for (;;) {
+    const double t = PredictMakespan(grades, x);
+    const long long sum = static_cast<long long>(
+        std::accumulate(x.begin(), x.end(), std::size_t{0}));
+    const long long score = prefer_logical ? sum : -sum;
+    if (t < best_t - 1e-9 ||
+        (std::abs(t - best_t) <= 1e-9 && score > best_sum)) {
+      best_t = t;
+      best_sum = score;
+      best = x;
+    }
+    // Increment odometer.
+    std::size_t d = 0;
+    while (d < x.size()) {
+      if (x[d] < grades[d].placeable()) {
+        ++x[d];
+        break;
+      }
+      x[d] = 0;
+      ++d;
+    }
+    if (d == x.size()) break;
+  }
+  if (!std::isfinite(best_t)) {
+    return FailedPrecondition("allocation: no feasible assignment");
+  }
+  return BuildResult(grades, std::move(best));
+}
+
+std::vector<std::size_t> FixedRatioAllocation(
+    const std::vector<GradeAllocationInput>& grades, double logical_ratio) {
+  std::vector<std::size_t> x;
+  x.reserve(grades.size());
+  for (const auto& g : grades) {
+    const double exact =
+        logical_ratio * static_cast<double>(g.placeable());
+    x.push_back(static_cast<std::size_t>(std::lround(exact)));
+  }
+  return x;
+}
+
+}  // namespace simdc::sched

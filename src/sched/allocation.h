@@ -1,0 +1,76 @@
+// Hybrid allocation optimization (§IV-B, Eq. 1).
+//
+// A task simulates c grades of devices, {N_1..N_c} devices per grade, of
+// which {q_i} are benchmarking phones. Grade i has f_i unit resource
+// bundles available in Logical Simulation (a device of the grade needs k_i
+// bundles) and m_i physical phones in Device Simulation. Measured runtime
+// parameters: α_i (logical batch seconds), β_i (phone batch seconds), λ_i
+// (phone compute-framework startup seconds).
+//
+// Choosing x_i devices for Logical Simulation (the rest on phones) yields
+//   Tl = max_i ceil(k_i·x_i / f_i)·α_i
+//   Tp = max_i ceil((N_i−q_i−x_i) / m_i)·β_i + λ_i
+//   T  = max(Tl, Tp)  → minimize; tie-break: maximize Σ x_i when the user
+//   asks to prioritize Logical Simulation resources (paper's secondary
+//   objective), else minimize Σ x_i.
+//
+// Solved exactly: with T fixed, the constraints decouple per grade into an
+// interval [x_min_i(T), x_max_i(T)], so feasibility is O(c); the optimum
+// is found by binary search over the O(Σ N_i) candidate values of T
+// (design decision D1 in DESIGN.md; brute force kept for verification).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace simdc::sched {
+
+/// Inputs for one device grade.
+struct GradeAllocationInput {
+  std::size_t total_devices = 0;       // N_i
+  std::size_t benchmarking = 0;        // q_i (always on phones)
+  std::size_t logical_bundles = 0;     // f_i
+  std::size_t bundles_per_device = 1;  // k_i
+  std::size_t phones = 0;              // m_i
+  double alpha_s = 1.0;                // α_i
+  double beta_s = 1.0;                 // β_i
+  double lambda_s = 0.0;               // λ_i
+
+  /// Devices that still need placement (N_i - q_i).
+  std::size_t placeable() const { return total_devices - benchmarking; }
+};
+
+struct AllocationResult {
+  /// x_i: devices allocated to Logical Simulation, per grade.
+  std::vector<std::size_t> logical_devices;
+  double total_seconds = 0.0;    // T
+  double logical_seconds = 0.0;  // Tl
+  double device_seconds = 0.0;   // Tp
+};
+
+/// Makespan of a specific assignment x (also used to cost the fixed-ratio
+/// Types 1–5 of Fig. 7). Grades with x_i > placeable are clamped.
+double PredictMakespan(const std::vector<GradeAllocationInput>& grades,
+                       const std::vector<std::size_t>& logical_devices,
+                       double* logical_seconds = nullptr,
+                       double* device_seconds = nullptr);
+
+/// Exact optimizer (binary search over candidate makespans).
+/// `prefer_logical` selects the secondary objective (max vs min Σ x_i).
+Result<AllocationResult> SolveHybridAllocation(
+    const std::vector<GradeAllocationInput>& grades,
+    bool prefer_logical = true);
+
+/// O(Π N_i) exhaustive reference used by tests and the ablation bench.
+Result<AllocationResult> BruteForceAllocation(
+    const std::vector<GradeAllocationInput>& grades,
+    bool prefer_logical = true);
+
+/// Fixed split: x_i = round(ratio × placeable_i) — the paper's Type 1–5
+/// allocation ratios (Fig. 6/7), ratio = fraction on Logical Simulation.
+std::vector<std::size_t> FixedRatioAllocation(
+    const std::vector<GradeAllocationInput>& grades, double logical_ratio);
+
+}  // namespace simdc::sched

@@ -1,0 +1,61 @@
+// Resource Manager (§III-B).
+//
+// "This module oversees the querying, freezing, and releasing of
+// heterogeneous resources, while also enabling dynamic scaling up or
+// down." The heterogeneous resources are (a) unit resource bundles in the
+// Logical Simulation cluster and (b) physical phones per grade in the
+// Device Simulation cluster.
+#pragma once
+
+#include <array>
+#include <mutex>
+
+#include "common/error.h"
+#include "device/grade.h"
+
+namespace simdc::sched {
+
+/// Point-in-time view synchronized to the Task Manager.
+struct ResourceSnapshot {
+  std::size_t logical_bundles_free = 0;
+  std::size_t logical_bundles_total = 0;
+  std::array<std::size_t, device::kNumGrades> phones_free = {};
+  std::array<std::size_t, device::kNumGrades> phones_total = {};
+};
+
+/// What one task wants to freeze.
+struct ResourceRequest {
+  std::size_t logical_bundles = 0;
+  std::array<std::size_t, device::kNumGrades> phones = {};
+};
+
+class ResourceManager {
+ public:
+  ResourceManager(std::size_t logical_bundles,
+                  std::array<std::size_t, device::kNumGrades> phones);
+
+  /// All-or-nothing freeze of a task's resources.
+  Status Freeze(const ResourceRequest& request);
+  /// Releases previously frozen resources (clamped; over-release errors).
+  Status Release(const ResourceRequest& request);
+
+  bool Fits(const ResourceRequest& request) const;
+  ResourceSnapshot Snapshot() const;
+
+  /// Dynamic scaling (§III-B).
+  void ScaleUpLogical(std::size_t extra_bundles);
+  Status ScaleDownLogical(std::size_t fewer_bundles);
+  void AddPhones(device::DeviceGrade grade, std::size_t count);
+  Status RemovePhones(device::DeviceGrade grade, std::size_t count);
+
+ private:
+  bool FitsLocked(const ResourceRequest& request) const;
+
+  mutable std::mutex mutex_;
+  std::size_t logical_total_;
+  std::size_t logical_used_ = 0;
+  std::array<std::size_t, device::kNumGrades> phones_total_;
+  std::array<std::size_t, device::kNumGrades> phones_used_ = {};
+};
+
+}  // namespace simdc::sched

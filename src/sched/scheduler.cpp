@@ -1,0 +1,35 @@
+#include "sched/scheduler.h"
+
+namespace simdc::sched {
+
+ResourceRequest RequestFor(const TaskSpec& task) {
+  ResourceRequest request;
+  for (const auto& requirement : task.requirements) {
+    request.logical_bundles += requirement.logical_bundles;
+    request.phones[device::GradeIndex(requirement.grade)] +=
+        requirement.phones + requirement.benchmarking_phones;
+  }
+  return request;
+}
+
+std::vector<TaskSpec> GreedyScheduler::SchedulePass(TaskQueue& queue) {
+  std::vector<TaskSpec> launched;
+  // Greedy over the priority-ordered snapshot: each task that fits the
+  // *remaining* pool is frozen and launched; the rest stay queued for a
+  // later pass. Priority order maximizes expected benefit for the greedy
+  // choice the paper describes.
+  for (const auto& candidate : queue.SnapshotOrdered()) {
+    const ResourceRequest request = RequestFor(candidate);
+    if (!resources_.Freeze(request).ok()) continue;
+    auto task = queue.Remove(candidate.id);
+    if (!task) {
+      // Raced away (removed elsewhere); undo the freeze.
+      (void)resources_.Release(request);
+      continue;
+    }
+    launched.push_back(std::move(*task));
+  }
+  return launched;
+}
+
+}  // namespace simdc::sched

@@ -1,0 +1,36 @@
+// Task Scheduler (§III-B).
+//
+// "Task Scheduler employs a greedy algorithm to schedule tasks from the
+// queue, taking into account the current states of the resource pool from
+// Resource Manager, demand resources, and the expected task benefits
+// derived from the scheduling priority. It prioritizes tasks that meet
+// resource requirements while maximizing the anticipated benefits."
+#pragma once
+
+#include <vector>
+
+#include "sched/resource_manager.h"
+#include "sched/task.h"
+#include "sched/task_queue.h"
+
+namespace simdc::sched {
+
+/// The resources a task spec asks the Resource Manager to freeze.
+ResourceRequest RequestFor(const TaskSpec& task);
+
+class GreedyScheduler {
+ public:
+  explicit GreedyScheduler(ResourceManager& resources)
+      : resources_(resources) {}
+
+  /// One scheduling pass: walks the queue in priority order, freezing
+  /// resources for every task that fits. Returns the tasks to launch now
+  /// (their resources are already frozen; the caller must Release them
+  /// when each task finishes).
+  std::vector<TaskSpec> SchedulePass(TaskQueue& queue);
+
+ private:
+  ResourceManager& resources_;
+};
+
+}  // namespace simdc::sched

@@ -1,0 +1,59 @@
+#include "sched/task_queue.h"
+
+#include <algorithm>
+
+namespace simdc::sched {
+
+Status TaskQueue::Submit(TaskSpec task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry.task.id == task.id) {
+      return AlreadyExists("task already queued: " + task.id.ToString());
+    }
+  }
+  entries_.push_back(Entry{std::move(task), next_sequence_++});
+  return Status::Ok();
+}
+
+std::optional<TaskSpec> TaskQueue::Remove(TaskId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->task.id == id) {
+      TaskSpec task = std::move(it->task);
+      entries_.erase(it);
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TaskSpec> TaskQueue::SnapshotOrdered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> sorted(entries_.begin(), entries_.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.task.priority != b.task.priority) {
+                       return a.task.priority > b.task.priority;
+                     }
+                     return a.sequence < b.sequence;
+                   });
+  std::vector<TaskSpec> out;
+  out.reserve(sorted.size());
+  for (auto& entry : sorted) out.push_back(std::move(entry.task));
+  return out;
+}
+
+bool TaskQueue::Contains(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry.task.id == id) return true;
+  }
+  return false;
+}
+
+std::size_t TaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace simdc::sched

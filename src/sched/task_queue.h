@@ -1,0 +1,43 @@
+// Task Queue maintained by the Task Manager (§III-B).
+//
+// Submitted tasks wait here until the Task Scheduler selects them. Ordering
+// is by scheduling priority (higher first), FIFO among equals.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "sched/task.h"
+
+namespace simdc::sched {
+
+class TaskQueue {
+ public:
+  /// Enqueues a task. Fails if a task with the same id is already queued.
+  Status Submit(TaskSpec task);
+
+  /// Removes and returns a specific task (when the scheduler picks it).
+  std::optional<TaskSpec> Remove(TaskId id);
+
+  /// Snapshot in scheduling order: priority desc, then submission order.
+  std::vector<TaskSpec> SnapshotOrdered() const;
+
+  bool Contains(TaskId id) const;
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    TaskSpec task;
+    std::uint64_t sequence;  // FIFO tie-break
+  };
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace simdc::sched

@@ -1,0 +1,100 @@
+#include "sched/task_runner.h"
+
+#include "common/log.h"
+
+namespace simdc::sched {
+
+std::vector<OperatorStep> DefaultFlOperatorFlow() {
+  return {
+      OperatorStep{OperatorStep::Kind::kDownload, "download_model"},
+      OperatorStep{OperatorStep::Kind::kTrain, "train_local"},
+      OperatorStep{OperatorStep::Kind::kUpload, "upload_update"},
+  };
+}
+
+std::future<Status> TaskRunner::Launch(TaskSpec task, RunFn run,
+                                       StateCallback on_state) {
+  SIMDC_CHECK(run != nullptr, "TaskRunner: missing run function");
+  SetState(task.id, TaskState::kScheduled, on_state);
+  auto future = pool_.Submit(
+      [this, task = std::move(task), run = std::move(run), on_state] {
+        SetState(task.id, TaskState::kRunning, on_state);
+        Status status = Status::Ok();
+        try {
+          status = run(task);
+        } catch (const std::exception& e) {
+          status = Internal(std::string("task threw: ") + e.what());
+        }
+        SetState(task.id,
+                 status.ok() ? TaskState::kCompleted : TaskState::kFailed,
+                 on_state);
+        if (!status.ok()) {
+          SIMDC_LOG(kWarn, "TaskRunner")
+              << task.id.ToString() << " failed: " << status.ToString();
+        }
+        return status;
+      });
+  std::shared_future<Status> shared = future.share();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.push_back(shared);
+  }
+  // Hand the caller an equivalent future.
+  return std::async(std::launch::deferred,
+                    [shared]() mutable { return shared.get(); });
+}
+
+TaskState TaskRunner::StateOf(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = states_.find(id);
+  return it == states_.end() ? TaskState::kQueued : it->second;
+}
+
+std::size_t TaskRunner::running_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, state] : states_) {
+    if (state == TaskState::kRunning || state == TaskState::kScheduled) ++n;
+  }
+  return n;
+}
+
+void TaskRunner::WaitAll() {
+  std::vector<std::shared_future<Status>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending = inflight_;
+  }
+  for (auto& future : pending) future.wait();
+}
+
+void TaskRunner::SetState(TaskId id, TaskState state,
+                          const StateCallback& callback) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_[id] = state;
+  }
+  if (callback) callback(id, state);
+}
+
+Result<AllocationResult> TaskRunner::PlanAllocation(const TaskSpec& task,
+                                                    bool prefer_logical) {
+  std::vector<GradeAllocationInput> grades;
+  grades.reserve(task.requirements.size());
+  for (const auto& requirement : task.requirements) {
+    const device::GradeSpec spec = device::DefaultGradeSpec(requirement.grade);
+    GradeAllocationInput input;
+    input.total_devices = requirement.num_devices;
+    input.benchmarking = requirement.benchmarking_phones;
+    input.logical_bundles = requirement.logical_bundles;
+    input.bundles_per_device = spec.unit_bundles;
+    input.phones = requirement.phones;
+    input.alpha_s = spec.alpha_s;
+    input.beta_s = spec.beta_s;
+    input.lambda_s = spec.lambda_s;
+    grades.push_back(input);
+  }
+  return SolveHybridAllocation(grades, prefer_logical);
+}
+
+}  // namespace simdc::sched

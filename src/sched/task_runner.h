@@ -1,0 +1,59 @@
+// Task Runner (§III-B).
+//
+// "Task Runner dynamically adjusts execution strategies for scheduled
+// tasks, ensuring that they are allocated to appropriate heterogeneous
+// resources based on the requested resource amounts and the number of
+// simulated devices. Additionally, the Task Runner supports multi-threaded
+// concurrent processing to optimize task execution efficiency."
+//
+// The runner owns a worker pool; the platform supplies the body of each
+// task (which performs the hybrid allocation and drives the simulators).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "sched/allocation.h"
+#include "sched/task.h"
+
+namespace simdc::sched {
+
+class TaskRunner {
+ public:
+  explicit TaskRunner(std::size_t worker_threads)
+      : pool_(worker_threads) {}
+
+  using RunFn = std::function<Status(const TaskSpec&)>;
+  using StateCallback = std::function<void(TaskId, TaskState)>;
+
+  /// Launches a scheduled task on the worker pool. The returned future
+  /// resolves to the task's final status.
+  std::future<Status> Launch(TaskSpec task, RunFn run,
+                             StateCallback on_state = {});
+
+  TaskState StateOf(TaskId id) const;
+  std::size_t running_count() const;
+
+  /// Blocks until all launched tasks finished.
+  void WaitAll();
+
+  /// Builds the per-grade allocation inputs of a task from its spec and
+  /// grade runtime parameters, then solves the hybrid allocation.
+  static Result<AllocationResult> PlanAllocation(
+      const TaskSpec& task, bool prefer_logical = true);
+
+ private:
+  void SetState(TaskId id, TaskState state, const StateCallback& callback);
+
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::unordered_map<TaskId, TaskState> states_;
+  std::vector<std::shared_future<Status>> inflight_;
+};
+
+}  // namespace simdc::sched

@@ -1,0 +1,112 @@
+// Discrete-event simulation engine.
+//
+// Every timed experiment in the paper (DeviceFlow dispatch schedules,
+// sample-threshold / scheduled aggregation windows, phone stage timings,
+// cluster-scale round times) runs on this engine: events execute in
+// timestamp order on a virtual clock, so a "20-minute aggregation window"
+// finishes in milliseconds of wall time and is bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace simdc::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventHandle = std::uint64_t;
+
+/// Single-threaded discrete-event loop over a virtual clock.
+///
+/// Ties (equal timestamps) execute in scheduling order, which makes runs
+/// deterministic regardless of callback content.
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return clock_.Now(); }
+  const Clock& clock() const { return clock_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to Now()).
+  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` from the current virtual time.
+  EventHandle ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    return ScheduleAt(Now() + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if already fired or unknown.
+  bool Cancel(EventHandle handle);
+
+  /// Runs until no events remain. Returns number of events executed.
+  std::size_t Run();
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`.
+  std::size_t RunUntil(SimTime t);
+
+  /// Executes exactly one event if any is pending. Returns true if one ran.
+  bool Step();
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventHandle handle;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Event& out);
+
+  ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventHandle> cancelled_;  // tombstones, checked on pop
+  std::uint64_t next_seq_ = 0;
+  EventHandle next_handle_ = 1;
+  std::size_t live_count_ = 0;
+  std::size_t processed_ = 0;
+};
+
+/// Periodic timer helper: reschedules itself on the loop every `period`
+/// until Stop() is called or `ticks_remaining` reaches zero.
+class PeriodicTimer {
+ public:
+  /// `max_ticks` == 0 means unbounded.
+  PeriodicTimer(EventLoop& loop, SimDuration period,
+                std::function<void(SimTime)> on_tick,
+                std::size_t max_ticks = 0);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  std::size_t ticks() const { return ticks_; }
+
+ private:
+  void Arm();
+
+  EventLoop& loop_;
+  SimDuration period_;
+  std::function<void(SimTime)> on_tick_;
+  std::size_t max_ticks_;
+  std::size_t ticks_ = 0;
+  bool running_ = false;
+  EventHandle pending_ = 0;
+};
+
+}  // namespace simdc::sim

@@ -1,0 +1,108 @@
+// Tests pinning the Fig. 8 scalability relationships between SimDC and the
+// baseline simulator cost models.
+#include <gtest/gtest.h>
+
+#include "baseline/scalability_models.h"
+
+namespace simdc::baseline {
+namespace {
+
+class ScalabilityTest : public ::testing::Test {
+ protected:
+  ClusterParams cluster_;  // paper defaults: 200 cores
+  FedScaleModel fedscale_{cluster_};
+  FederatedScopeModel fedscope_{cluster_};
+  SimDcModel simdc_{cluster_};
+};
+
+TEST_F(ScalabilityTest, SimDcSlowerBelowOneThousandDevices) {
+  // Fig. 8: "for fewer than 1,000 devices, the single-round training time
+  // of SimDC is larger than that of the other two frameworks."
+  for (const std::size_t n : {100u, 300u, 1000u}) {
+    EXPECT_GT(simdc_.SingleRoundSeconds(n), fedscale_.SingleRoundSeconds(n))
+        << "n=" << n;
+    EXPECT_GT(simdc_.SingleRoundSeconds(n), fedscope_.SingleRoundSeconds(n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(ScalabilityTest, FedScaleAlwaysFastest) {
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    EXPECT_LT(fedscale_.SingleRoundSeconds(n),
+              fedscope_.SingleRoundSeconds(n));
+    EXPECT_LT(fedscale_.SingleRoundSeconds(n), simdc_.SingleRoundSeconds(n));
+  }
+}
+
+TEST_F(ScalabilityTest, SimDcComparableToFederatedScopeAtLargeScale) {
+  // Fig. 8: "The single-round training times of SimDC and FederatedScope
+  // are comparable at large scales."
+  for (const std::size_t n : {10000u, 100000u}) {
+    const double ratio =
+        simdc_.SingleRoundSeconds(n) / fedscope_.SingleRoundSeconds(n);
+    EXPECT_GT(ratio, 0.7) << "n=" << n;
+    EXPECT_LT(ratio, 1.4) << "n=" << n;
+  }
+}
+
+TEST_F(ScalabilityTest, DeviceScaleDominatesBeyondTenThousand) {
+  // Past 10k devices, doubling the devices roughly doubles the time.
+  const double t10k = simdc_.SingleRoundSeconds(10000);
+  const double t20k = simdc_.SingleRoundSeconds(20000);
+  EXPECT_NEAR(t20k / t10k, 2.0, 0.3);
+}
+
+TEST_F(ScalabilityTest, FixedOverheadDominatesSmallScale) {
+  // Below ~200 devices (one wave), SimDC's time is nearly flat.
+  const double t100 = simdc_.SingleRoundSeconds(100);
+  const double t200 = simdc_.SingleRoundSeconds(200);
+  EXPECT_NEAR(t100, t200, 1e-9);
+  EXPECT_GT(t100, 10.0);  // setup + download dominates
+}
+
+TEST_F(ScalabilityTest, MonotoneInDevices) {
+  for (const SimulatorModel* model :
+       std::initializer_list<const SimulatorModel*>{&fedscale_, &fedscope_,
+                                                    &simdc_}) {
+    double prev = 0.0;
+    for (std::size_t n = 100; n <= 102400; n *= 2) {
+      const double t = model->SingleRoundSeconds(n);
+      EXPECT_GE(t, prev) << model->name() << " n=" << n;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(ScalabilityTest, AblationDevicePerActorIsSlower) {
+  // Design decision D4: actors sequentially multiplexing devices beat
+  // device-per-actor (which pays the download per device at scale).
+  SimDcModel::Params per_device;
+  per_device.multiplex_devices_per_actor = false;
+  SimDcModel no_multiplex(cluster_, per_device);
+  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+    EXPECT_GT(no_multiplex.SingleRoundSeconds(n),
+              simdc_.SingleRoundSeconds(n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(ScalabilityTest, MoreCoresHelp) {
+  ClusterParams big = cluster_;
+  big.cpu_cores = 400;
+  SimDcModel wider(big);
+  EXPECT_LT(wider.SingleRoundSeconds(100000),
+            simdc_.SingleRoundSeconds(100000));
+}
+
+TEST_F(ScalabilityTest, Names) {
+  EXPECT_EQ(fedscale_.name(), "FedScale");
+  EXPECT_EQ(fedscope_.name(), "FederatedScope");
+  EXPECT_EQ(simdc_.name(), "SimDC");
+}
+
+TEST_F(ScalabilityTest, ZeroDevicesIsSetupOnly) {
+  EXPECT_DOUBLE_EQ(simdc_.SingleRoundSeconds(0), 12.0);
+}
+
+}  // namespace
+}  // namespace simdc::baseline

@@ -1,0 +1,292 @@
+// Unit tests for the cloud services: blob storage, metrics database,
+// aggregation service with both triggers.
+#include <gtest/gtest.h>
+
+#include "cloud/aggregation.h"
+#include "cloud/database.h"
+#include "cloud/storage.h"
+#include "ml/lr_model.h"
+#include "sim/event_loop.h"
+
+namespace simdc::cloud {
+namespace {
+
+std::vector<std::byte> Bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+// ---------- BlobStore ----------
+
+TEST(BlobStoreTest, PutGetDelete) {
+  BlobStore store;
+  const BlobId id = store.Put(Bytes({1, 2, 3}));
+  EXPECT_TRUE(store.Contains(id));
+  auto blob = store.Get(id);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->size(), 3u);
+  EXPECT_TRUE(store.Delete(id).ok());
+  EXPECT_FALSE(store.Contains(id));
+  EXPECT_FALSE(store.Get(id).ok());
+  EXPECT_FALSE(store.Delete(id).ok());
+}
+
+TEST(BlobStoreTest, DistinctIds) {
+  BlobStore store;
+  const BlobId a = store.Put(Bytes({1}));
+  const BlobId b = store.Put(Bytes({1}));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.blob_count(), 2u);
+}
+
+TEST(BlobStoreTest, ByteAccounting) {
+  BlobStore store;
+  const BlobId a = store.Put(Bytes({1, 2, 3, 4}));
+  store.Put(Bytes({5, 6}));
+  EXPECT_EQ(store.total_bytes(), 6u);
+  EXPECT_EQ(store.bytes_written(), 6u);
+  (void)store.Get(a);
+  EXPECT_EQ(store.bytes_read(), 4u);
+  ASSERT_TRUE(store.Delete(a).ok());
+  EXPECT_EQ(store.total_bytes(), 2u);
+  EXPECT_EQ(store.bytes_written(), 6u);  // cumulative
+}
+
+// ---------- MetricsDatabase ----------
+
+device::PerfSample Sample(TaskId task, PhoneId phone, double t_s,
+                          device::ApkStage stage, double current_ma,
+                          std::int64_t bandwidth) {
+  device::PerfSample s;
+  s.task = task;
+  s.phone = phone;
+  s.time = Seconds(t_s);
+  s.stage = stage;
+  s.current_ua = -static_cast<std::int64_t>(current_ma * 1000);
+  s.voltage_mv = 3850;
+  s.cpu_percent = 5.0;
+  s.memory_kb = 30000;
+  s.bandwidth_bytes = bandwidth;
+  return s;
+}
+
+TEST(MetricsDatabaseTest, QueryFiltersByTaskAndPhone) {
+  MetricsDatabase db;
+  db.Record(Sample(TaskId(1), PhoneId(1), 0, device::ApkStage::kNoApk, 50, 0));
+  db.Record(Sample(TaskId(1), PhoneId(2), 0, device::ApkStage::kNoApk, 50, 0));
+  db.Record(Sample(TaskId(2), PhoneId(1), 0, device::ApkStage::kNoApk, 50, 0));
+  EXPECT_EQ(db.QueryTask(TaskId(1)).size(), 2u);
+  EXPECT_EQ(db.QueryPhone(TaskId(1), PhoneId(2)).size(), 1u);
+  EXPECT_EQ(db.sample_count(), 3u);
+}
+
+TEST(MetricsDatabaseTest, StageAggregationIntegratesEnergy) {
+  MetricsDatabase db;
+  // 10 samples 1 s apart at 360 mA → 360 mA · 10 s = 1 mAh.
+  for (int i = 0; i <= 10; ++i) {
+    db.Record(Sample(TaskId(1), PhoneId(1), i, device::ApkStage::kTraining,
+                     360.0, 1024 * i));
+  }
+  const auto stages = db.AggregateStages(TaskId(1), PhoneId(1));
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].stage, device::ApkStage::kTraining);
+  EXPECT_NEAR(stages[0].energy_mah, 1.1, 0.05);  // 11 samples × 1 s
+  EXPECT_NEAR(stages[0].comm_kb, 10.0, 0.01);
+  EXPECT_EQ(stages[0].samples, 11u);
+}
+
+TEST(MetricsDatabaseTest, AverageStagesAcrossPhones) {
+  MetricsDatabase db;
+  for (int phone = 1; phone <= 2; ++phone) {
+    const double ma = phone == 1 ? 100.0 : 300.0;
+    for (int i = 0; i <= 5; ++i) {
+      db.Record(Sample(TaskId(1), PhoneId(phone), i,
+                       device::ApkStage::kTraining, ma, 0));
+    }
+  }
+  const auto avg = db.AverageStages(TaskId(1), {PhoneId(1), PhoneId(2)});
+  ASSERT_EQ(avg.size(), 1u);
+  // Mean of per-phone energies: (100+300)/2 mA over 6 s.
+  EXPECT_NEAR(avg[0].energy_mah, 200.0 * 6.0 / 3600.0, 0.01);
+}
+
+TEST(MetricsDatabaseTest, ScalarSeries) {
+  MetricsDatabase db;
+  db.RecordScalar("loss", Seconds(1), 0.9);
+  db.RecordScalar("loss", Seconds(2), 0.7);
+  db.RecordScalar("acc", Seconds(1), 0.5);
+  const auto loss = db.QueryScalar("loss");
+  ASSERT_EQ(loss.size(), 2u);
+  EXPECT_DOUBLE_EQ(loss[1].second, 0.7);
+  EXPECT_TRUE(db.QueryScalar("nope").empty());
+}
+
+// ---------- AggregationService ----------
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kDim = 16;
+
+  flow::Message Upload(BlobStore& store, float weight0, std::size_t samples,
+                       std::uint64_t id) {
+    ml::LrModel model(kDim);
+    model.weights()[0] = weight0;
+    flow::Message m;
+    m.id = MessageId(id);
+    m.task = TaskId(1);
+    m.device = DeviceId(id);
+    m.payload = store.Put(model.ToBytes());
+    m.sample_count = samples;
+    return m;
+  }
+
+  sim::EventLoop loop_;
+  BlobStore store_;
+};
+
+TEST_F(AggregationTest, SampleThresholdTriggers) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 30;
+  AggregationService service(loop_, store_, config);
+  service.Start();
+
+  service.Deliver(Upload(store_, 1.0f, 10, 1), 0);
+  service.Deliver(Upload(store_, 2.0f, 10, 2), 0);
+  EXPECT_EQ(service.rounds_completed(), 0u);  // 20 < 30
+  service.Deliver(Upload(store_, 3.0f, 10, 3), 0);
+  ASSERT_EQ(service.rounds_completed(), 1u);
+  EXPECT_NEAR(service.global_model().weights()[0], 2.0, 1e-6);
+  EXPECT_EQ(service.history()[0].clients, 3u);
+  EXPECT_EQ(service.history()[0].samples, 30u);
+  EXPECT_EQ(service.pending_samples(), 0u);  // aggregator reset
+}
+
+TEST_F(AggregationTest, ScheduledTriggerFiresPeriodically) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(10.0);
+  config.max_rounds = 3;
+  AggregationService service(loop_, store_, config);
+  service.Start();
+
+  // Deliver a couple of updates before each tick.
+  for (int round = 0; round < 3; ++round) {
+    loop_.ScheduleAt(Seconds(10.0 * round + 1),
+                     [&, round] {
+                       service.Deliver(
+                           Upload(store_, static_cast<float>(round), 5,
+                                  static_cast<std::uint64_t>(round * 10 + 1)),
+                           loop_.Now());
+                     });
+  }
+  loop_.Run();
+  EXPECT_EQ(service.rounds_completed(), 3u);
+  EXPECT_EQ(service.history()[0].time, Seconds(10.0));
+  EXPECT_EQ(service.history()[2].time, Seconds(30.0));
+}
+
+TEST_F(AggregationTest, ScheduledTickWithNothingPendingSkips) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(5.0);
+  config.max_rounds = 2;
+  AggregationService service(loop_, store_, config);
+  service.Start();
+  loop_.ScheduleAt(Seconds(6.0), [&] {
+    service.Deliver(Upload(store_, 1.0f, 5, 1), loop_.Now());
+  });
+  loop_.RunUntil(Seconds(30.0));
+  // First tick (t=5) had nothing; second tick (t=10) aggregated.
+  ASSERT_EQ(service.rounds_completed(), 1u);
+  EXPECT_EQ(service.history()[0].time, Seconds(10.0));
+  service.Stop();
+  loop_.Run();
+}
+
+TEST_F(AggregationTest, MissingBlobCountsAsDecodeFailure) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store_, config);
+  flow::Message m;
+  m.task = TaskId(1);
+  m.payload = BlobId(999);  // never stored
+  m.sample_count = 5;
+  service.Deliver(m, 0);
+  EXPECT_EQ(service.decode_failures(), 1u);
+  EXPECT_EQ(service.pending_samples(), 0u);
+}
+
+TEST_F(AggregationTest, CorruptBlobRejected) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store_, config);
+  flow::Message m;
+  m.task = TaskId(1);
+  m.payload = store_.Put(Bytes({1, 2, 3}));
+  m.sample_count = 5;
+  service.Deliver(m, 0);
+  EXPECT_EQ(service.decode_failures(), 1u);
+}
+
+TEST_F(AggregationTest, WrongDimensionRejected) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store_, config);
+  ml::LrModel other(kDim * 2);
+  flow::Message m;
+  m.task = TaskId(1);
+  m.payload = store_.Put(other.ToBytes());
+  m.sample_count = 5;
+  service.Deliver(m, 0);
+  EXPECT_EQ(service.decode_failures(), 1u);
+}
+
+TEST_F(AggregationTest, PublishesModelBlobAndCallback) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 5;
+  AggregationService service(loop_, store_, config);
+  std::size_t callbacks = 0;
+  service.set_on_aggregate(
+      [&](const AggregationRecord& record, const ml::LrModel& model) {
+        ++callbacks;
+        EXPECT_TRUE(store_.Contains(record.model_blob));
+        EXPECT_EQ(model.dim(), kDim);
+      });
+  service.Deliver(Upload(store_, 4.0f, 5, 1), 0);
+  EXPECT_EQ(callbacks, 1u);
+}
+
+TEST_F(AggregationTest, StopIgnoresFurtherDeliveries) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 1;
+  AggregationService service(loop_, store_, config);
+  service.Stop();
+  service.Deliver(Upload(store_, 4.0f, 5, 1), 0);
+  EXPECT_EQ(service.rounds_completed(), 0u);
+  EXPECT_EQ(service.messages_received(), 0u);
+}
+
+TEST_F(AggregationTest, MaxRoundsHonored) {
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 1;
+  config.max_rounds = 2;
+  AggregationService service(loop_, store_, config);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    service.Deliver(Upload(store_, 1.0f, 1, i), 0);
+  }
+  EXPECT_EQ(service.rounds_completed(), 2u);
+}
+
+}  // namespace
+}  // namespace simdc::cloud

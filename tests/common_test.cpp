@@ -1,0 +1,389 @@
+// Unit tests for src/common: errors, ids, RNG, statistics, strings,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace simdc {
+namespace {
+
+// ---------- Result / Status ----------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("missing thing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, ErrorOnOkThrows) {
+  Result<int> r = 1;
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s = ResourceExhausted("pool dry");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("pool dry"), std::string::npos);
+}
+
+TEST(ErrorTest, ToStringIncludesCodeName) {
+  EXPECT_NE(ParseError("bad").ToString().find("ParseError"),
+            std::string::npos);
+}
+
+TEST(CheckTest, ThrowsWithMessage) {
+  EXPECT_THROW(SIMDC_CHECK(false, "reason " << 42), std::invalid_argument);
+  EXPECT_NO_THROW(SIMDC_CHECK(true, "fine"));
+}
+
+// ---------- Strong ids ----------
+
+TEST(IdsTest, DistinctTypesAndEquality) {
+  TaskId a(1), b(1), c(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(TaskId().valid());
+}
+
+TEST(IdsTest, ToStringUsesPrefix) {
+  EXPECT_EQ(TaskId(7).ToString(), "task-7");
+  EXPECT_EQ(PhoneId(3).ToString(), "phone-3");
+  EXPECT_EQ(DeviceId(9).ToString(), "dev-9");
+}
+
+TEST(IdsTest, Hashable) {
+  std::set<TaskId> ids = {TaskId(1), TaskId(2), TaskId(1)};
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, SplitIsStableAndIndependent) {
+  const Rng root(99);
+  Rng c1 = root.Split(5);
+  Rng c2 = root.Split(5);
+  Rng c3 = root.Split(6);
+  EXPECT_EQ(c1(), c2());
+  EXPECT_NE(c1(), c3());
+}
+
+TEST(RngTest, SplitByLabel) {
+  const Rng root(7);
+  EXPECT_EQ(root.Split("alpha")(), root.Split("alpha")());
+  EXPECT_NE(root.Split("alpha")(), root.Split("beta")());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.UniformInt(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 30000; ++i) stats.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_THROW(rng.Exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(10);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) ones += rng.Categorical(weights) == 1;
+  EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsBadWeights) {
+  Rng rng(10);
+  EXPECT_THROW(rng.Categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t s : unique) EXPECT_LT(s, 100u);
+  EXPECT_THROW(rng.SampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each index should appear with probability k/n.
+  Rng rng(13);
+  std::vector<int> counts(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t idx : rng.SampleWithoutReplacement(20, 5)) {
+      ++counts[idx];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(HashStringTest, StableAndDistinct) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+// ---------- Statistics ----------
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> yneg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, yneg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceReturnsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {2, 4, 6};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonTest, MismatchThrows) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {1};
+  EXPECT_THROW(PearsonCorrelation(x, y), std::invalid_argument);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);
+  EXPECT_THROW(Percentile(std::vector<double>{}, 50), std::invalid_argument);
+  EXPECT_THROW(Percentile(v, 101), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bin 0
+  h.Add(9.9);    // bin 4
+  h.Add(-3.0);   // clamps to bin 0
+  h.Add(100.0);  // clamps to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_FALSE(h.ToAscii().empty());
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+}
+
+// ---------- Strings ----------
+
+TEST(StringUtilTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, SplitLines) {
+  const auto lines = SplitLines("one\ntwo\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "two");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt(" -7 "), -7);
+  EXPECT_FALSE(ParseInt("42x").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5%").has_value());
+}
+
+TEST(StringUtilTest, FirstIntIn) {
+  EXPECT_EQ(FirstIntIn("TOTAL PSS: 46180 kB"), 46180);
+  EXPECT_EQ(FirstIntIn("temp -12 deg"), -12);
+  EXPECT_FALSE(FirstIntIn("no numbers").has_value());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ExecutesSubmittedJobs) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmissions) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+}  // namespace
+}  // namespace simdc

@@ -1,0 +1,250 @@
+// Unit tests for the textual task-spec configuration (the headless
+// substitute for the paper's GUI front-end).
+#include <gtest/gtest.h>
+
+#include "config/task_config.h"
+#include "sched/scheduler.h"
+
+namespace simdc::config {
+namespace {
+
+constexpr const char* kFullSpec = R"(
+# nightly CTR training task
+[task]
+name = nightly-ctr
+priority = 5
+rounds = 10
+
+[devices.high]
+count = 500
+benchmarking = 5
+logical_bundles = 100
+phones = 12
+
+[devices.low]
+count = 500
+benchmarking = 5
+logical_bundles = 100
+phones = 8
+
+[traffic]
+strategy = interval
+curve = normal
+sigma = 1.0
+interval_s = 60
+failure_probability = 0.05
+
+[aggregation]
+trigger = scheduled
+period_s = 120
+reject_stale = 1
+)";
+
+// ---------- INI parsing ----------
+
+TEST(IniTest, ParsesSectionsAndKeys) {
+  auto doc = ParseIni("[a]\nx = 1\ny = two words\n[b]\nz=3\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*GetString(*doc, "a", "x"), "1");
+  EXPECT_EQ(*GetString(*doc, "a", "y"), "two words");
+  EXPECT_EQ(*GetInt(*doc, "b", "z"), 3);
+}
+
+TEST(IniTest, CommentsAndBlankLines) {
+  auto doc = ParseIni("# leading comment\n[s]\n; comment\nk = v  # trailing\n\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*GetString(*doc, "s", "k"), "v");
+}
+
+TEST(IniTest, LaterDuplicateWins) {
+  auto doc = ParseIni("[s]\nk = 1\nk = 2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*GetInt(*doc, "s", "k"), 2);
+}
+
+TEST(IniTest, KeysOutsideSectionGoToRoot) {
+  auto doc = ParseIni("k = root\n[s]\nk = nested\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*GetString(*doc, "", "k"), "root");
+}
+
+TEST(IniTest, MalformedInputsRejectedWithLineNumbers) {
+  auto bad_header = ParseIni("[unclosed\nk = v\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.error().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseIni("[]\n").ok());
+  auto no_equals = ParseIni("[s]\njust words\n");
+  ASSERT_FALSE(no_equals.ok());
+  EXPECT_NE(no_equals.error().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseIni("[s]\n= value\n").ok());
+}
+
+TEST(IniTest, TypedAccessorErrors) {
+  auto doc = ParseIni("[s]\nnum = abc\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(GetString(*doc, "missing", "k").error().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(GetString(*doc, "s", "missing").error().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(GetInt(*doc, "s", "num").error().code(), ErrorCode::kParseError);
+  EXPECT_EQ(GetDouble(*doc, "s", "num").error().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(IniTest, SizeLists) {
+  auto doc = ParseIni("[s]\nlist = 20, 100, 50\nbad = 1,x\nneg = -2\n");
+  ASSERT_TRUE(doc.ok());
+  auto list = GetSizeList(*doc, "s", "list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(*list, (std::vector<std::size_t>{20, 100, 50}));
+  EXPECT_FALSE(GetSizeList(*doc, "s", "bad").ok());
+  EXPECT_FALSE(GetSizeList(*doc, "s", "neg").ok());
+}
+
+// ---------- TaskSpec loading ----------
+
+TEST(TaskSpecTest, LoadsFullSpec) {
+  auto task = ParseTaskSpec(kFullSpec);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->name, "nightly-ctr");
+  EXPECT_EQ(task->priority, 5);
+  EXPECT_EQ(task->rounds, 10u);
+  ASSERT_EQ(task->requirements.size(), 2u);
+  const auto& high =
+      task->requirements[0].grade == device::DeviceGrade::kHigh
+          ? task->requirements[0]
+          : task->requirements[1];
+  EXPECT_EQ(high.num_devices, 500u);
+  EXPECT_EQ(high.benchmarking_phones, 5u);
+  EXPECT_EQ(high.logical_bundles, 100u);
+  EXPECT_EQ(high.phones, 12u);
+}
+
+TEST(TaskSpecTest, DefaultsApplyWhenOmitted) {
+  auto task = ParseTaskSpec("[devices.high]\ncount = 10\n");
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->rounds, 1u);
+  EXPECT_EQ(task->priority, 0);
+  EXPECT_EQ(task->requirements[0].benchmarking_phones, 0u);
+}
+
+TEST(TaskSpecTest, RejectsInvalidSpecs) {
+  EXPECT_FALSE(ParseTaskSpec("[task]\nname = empty\n").ok());  // no devices
+  EXPECT_FALSE(ParseTaskSpec("[devices.medium]\ncount = 5\n").ok());
+  EXPECT_FALSE(ParseTaskSpec("[devices.high]\ncount = 5\nbenchmarking = 9\n").ok());
+  EXPECT_FALSE(
+      ParseTaskSpec("[task]\nrounds = 0\n[devices.high]\ncount = 5\n").ok());
+  EXPECT_FALSE(ParseTaskSpec("[devices.high]\nphones = 3\n").ok());  // no count
+}
+
+// ---------- Strategy loading ----------
+
+TEST(StrategyTest, Realtime) {
+  auto doc = ParseIni(
+      "[traffic]\nstrategy = realtime\nthresholds = 20,100,50\n"
+      "failure_probability = 0.1\n");
+  ASSERT_TRUE(doc.ok());
+  auto strategy = LoadStrategy(*doc);
+  ASSERT_TRUE(strategy.ok());
+  const auto* realtime = std::get_if<flow::RealtimeAccumulated>(&*strategy);
+  ASSERT_NE(realtime, nullptr);
+  EXPECT_EQ(realtime->thresholds, (std::vector<std::size_t>{20, 100, 50}));
+  EXPECT_DOUBLE_EQ(realtime->failure_probability, 0.1);
+}
+
+TEST(StrategyTest, Points) {
+  auto doc = ParseIni(
+      "[traffic]\nstrategy = points\nat_s = 10,25,40\ncounts = 200,600,400\n"
+      "random_discard = 3\n");
+  ASSERT_TRUE(doc.ok());
+  auto strategy = LoadStrategy(*doc);
+  ASSERT_TRUE(strategy.ok());
+  const auto* points = std::get_if<flow::TimePointDispatch>(&*strategy);
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->points.size(), 3u);
+  EXPECT_EQ(points->points[1].when, Seconds(25.0));
+  EXPECT_EQ(points->points[1].count, 600u);
+  EXPECT_EQ(points->points[2].random_discard, 3u);
+}
+
+TEST(StrategyTest, IntervalCurves) {
+  for (const char* curve :
+       {"normal", "right_tail", "sin", "cos", "pow2", "pow10", "diurnal"}) {
+    auto doc = ParseIni("[traffic]\nstrategy = interval\ncurve = " +
+                        std::string(curve) + "\ninterval_s = 30\n");
+    ASSERT_TRUE(doc.ok());
+    auto strategy = LoadStrategy(*doc);
+    ASSERT_TRUE(strategy.ok()) << curve;
+    const auto* interval = std::get_if<flow::TimeIntervalDispatch>(&*strategy);
+    ASSERT_NE(interval, nullptr) << curve;
+    EXPECT_EQ(interval->interval, Seconds(30.0)) << curve;
+    EXPECT_GE(interval->rate(interval->rate.domain_lo), 0.0);
+  }
+}
+
+TEST(StrategyTest, RejectsInvalid) {
+  auto bad = [](const std::string& body) {
+    auto doc = ParseIni(body);
+    EXPECT_TRUE(doc.ok());
+    return !LoadStrategy(*doc).ok();
+  };
+  EXPECT_TRUE(bad("[traffic]\nstrategy = teleport\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = realtime\nthresholds = 0\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = realtime\nfailure_probability = 1.5\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = points\nat_s = 1,2\ncounts = 5\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = interval\ncurve = wiggle\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = interval\ncurve = normal\nsigma = -1\n"));
+  EXPECT_TRUE(bad("[traffic]\nstrategy = interval\ncurve = normal\ninterval_s = 0\n"));
+  EXPECT_TRUE(bad("[missing]\nx = 1\n"));
+}
+
+// ---------- Aggregation loading ----------
+
+TEST(AggregationConfigTest, Scheduled) {
+  auto doc = ParseIni(
+      "[aggregation]\ntrigger = scheduled\nperiod_s = 120\nreject_stale = 1\n");
+  ASSERT_TRUE(doc.ok());
+  auto config = LoadAggregation(*doc, 4096);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->trigger, cloud::AggregationTrigger::kScheduled);
+  EXPECT_EQ(config->schedule_period, Seconds(120.0));
+  EXPECT_TRUE(config->reject_stale);
+  EXPECT_EQ(config->model_dim, 4096u);
+}
+
+TEST(AggregationConfigTest, SampleThreshold) {
+  auto doc = ParseIni(
+      "[aggregation]\ntrigger = sample_threshold\nthreshold = 5000\n");
+  ASSERT_TRUE(doc.ok());
+  auto config = LoadAggregation(*doc, 16);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->trigger, cloud::AggregationTrigger::kSampleThreshold);
+  EXPECT_EQ(config->sample_threshold, 5000u);
+  EXPECT_FALSE(config->reject_stale);
+}
+
+TEST(AggregationConfigTest, RejectsInvalid) {
+  auto check = [](const std::string& body) {
+    auto doc = ParseIni(body);
+    EXPECT_TRUE(doc.ok());
+    return !LoadAggregation(*doc, 16).ok();
+  };
+  EXPECT_TRUE(check("[aggregation]\ntrigger = magic\n"));
+  EXPECT_TRUE(check("[aggregation]\ntrigger = scheduled\nperiod_s = 0\n"));
+  EXPECT_TRUE(check("[aggregation]\ntrigger = scheduled\n"));  // no period
+  EXPECT_TRUE(check("[aggregation]\ntrigger = sample_threshold\nthreshold = 0\n"));
+}
+
+// ---------- round trip into the platform types ----------
+
+TEST(RoundTripTest, FullSpecProducesSchedulableTask) {
+  auto task = ParseTaskSpec(kFullSpec);
+  ASSERT_TRUE(task.ok());
+  const auto request = sched::RequestFor(*task);
+  EXPECT_EQ(request.logical_bundles, 200u);
+  EXPECT_EQ(request.phones[0], 17u);  // 12 + 5 benchmarking
+  EXPECT_EQ(request.phones[1], 13u);
+}
+
+}  // namespace
+}  // namespace simdc::config

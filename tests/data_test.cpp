@@ -1,0 +1,206 @@
+// Unit tests for the synthetic Avazu-like dataset generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/schema.h"
+#include "data/synth_avazu.h"
+
+namespace simdc::data {
+namespace {
+
+SynthConfig SmallConfig() {
+  SynthConfig config;
+  config.num_devices = 200;
+  config.records_per_device_mean = 20;
+  config.num_test_devices = 20;
+  config.hash_dim = 1u << 14;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SchemaTest, HashFeatureStaysInRange) {
+  for (std::uint32_t f = 0; f < kAvazuFields.size(); ++f) {
+    for (std::uint32_t v = 0; v < 100; ++v) {
+      EXPECT_LT(HashFeature(f, v, 4096), 4096u);
+    }
+  }
+}
+
+TEST(SchemaTest, HashFeatureSeparatesFields) {
+  // Same value in different fields should almost never collide.
+  int collisions = 0;
+  for (std::uint32_t v = 0; v < 500; ++v) {
+    if (HashFeature(0, v, 1u << 16) == HashFeature(1, v, 1u << 16)) {
+      ++collisions;
+    }
+  }
+  EXPECT_LE(collisions, 2);
+}
+
+TEST(SynthAvazuTest, DeterministicInSeed) {
+  const auto a = GenerateSyntheticAvazu(SmallConfig());
+  const auto b = GenerateSyntheticAvazu(SmallConfig());
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  ASSERT_EQ(a.TotalExamples(), b.TotalExamples());
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    ASSERT_EQ(a.devices[d].examples.size(), b.devices[d].examples.size());
+    for (std::size_t e = 0; e < a.devices[d].examples.size(); ++e) {
+      EXPECT_EQ(a.devices[d].examples[e].features,
+                b.devices[d].examples[e].features);
+      EXPECT_EQ(a.devices[d].examples[e].label, b.devices[d].examples[e].label);
+    }
+  }
+}
+
+TEST(SynthAvazuTest, DifferentSeedsDiffer) {
+  auto config = SmallConfig();
+  const auto a = GenerateSyntheticAvazu(config);
+  config.seed = 8;
+  const auto b = GenerateSyntheticAvazu(config);
+  EXPECT_NE(a.TotalExamples(), b.TotalExamples());
+}
+
+TEST(SynthAvazuTest, ShapeMatchesConfig) {
+  const auto dataset = GenerateSyntheticAvazu(SmallConfig());
+  EXPECT_EQ(dataset.devices.size(), 200u);
+  EXPECT_EQ(dataset.hash_dim, 1u << 14);
+  EXPECT_FALSE(dataset.test_set.empty());
+  for (const auto& device : dataset.devices) {
+    EXPECT_FALSE(device.examples.empty());
+    for (const auto& example : device.examples) {
+      EXPECT_EQ(example.features.size(), kFeaturesPerExample);
+      for (std::uint32_t idx : example.features) {
+        EXPECT_LT(idx, dataset.hash_dim);
+      }
+      EXPECT_TRUE(example.label == 0.0f || example.label == 1.0f);
+    }
+  }
+}
+
+TEST(SynthAvazuTest, DeviceIdsAreUniqueAndSequential) {
+  const auto dataset = GenerateSyntheticAvazu(SmallConfig());
+  std::set<DeviceId> ids;
+  for (const auto& device : dataset.devices) ids.insert(device.device);
+  EXPECT_EQ(ids.size(), dataset.devices.size());
+}
+
+TEST(SynthAvazuTest, GlobalCtrNearTarget) {
+  auto config = SmallConfig();
+  config.num_devices = 1000;
+  config.distribution = LabelDistribution::kIid;
+  const auto dataset = GenerateSyntheticAvazu(config);
+  EXPECT_NEAR(dataset.GlobalPositiveRate(), config.global_ctr, 0.03);
+}
+
+TEST(SynthAvazuTest, NaturalModeHasHeterogeneousCtr) {
+  auto config = SmallConfig();
+  config.distribution = LabelDistribution::kNatural;
+  const auto dataset = GenerateSyntheticAvazu(config);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& device : dataset.devices) {
+    lo = std::min(lo, device.true_ctr);
+    hi = std::max(hi, device.true_ctr);
+  }
+  EXPECT_LT(lo, 0.10);  // spread on both sides of 0.17
+  EXPECT_GT(hi, 0.30);
+}
+
+TEST(SynthAvazuTest, PolarizedModeSplitsDevices) {
+  auto config = SmallConfig();
+  config.distribution = LabelDistribution::kPolarized;
+  config.polarized_positive_fraction = 0.7;
+  const auto dataset = GenerateSyntheticAvazu(config);
+  std::size_t positive_heavy = 0, negative_heavy = 0;
+  for (const auto& device : dataset.devices) {
+    if (device.true_ctr > 0.5) {
+      ++positive_heavy;
+    } else {
+      ++negative_heavy;
+    }
+  }
+  // 70% of 200 = 140 positive-heavy devices (Fig. 11b setup).
+  EXPECT_EQ(positive_heavy, 140u);
+  EXPECT_EQ(negative_heavy, 60u);
+}
+
+TEST(SynthAvazuTest, PolarizedLabelsReflectCtr) {
+  auto config = SmallConfig();
+  config.distribution = LabelDistribution::kPolarized;
+  config.records_per_device_mean = 50;
+  const auto dataset = GenerateSyntheticAvazu(config);
+  // Empirical positive rate of positive-heavy devices must far exceed the
+  // negative-heavy ones.
+  double pos_rate_sum = 0.0, neg_rate_sum = 0.0;
+  std::size_t pos_n = 0, neg_n = 0;
+  for (const auto& device : dataset.devices) {
+    std::size_t pos = 0;
+    for (const auto& e : device.examples) pos += e.label > 0.5f;
+    const double rate =
+        static_cast<double>(pos) / static_cast<double>(device.examples.size());
+    if (device.true_ctr > 0.5) {
+      pos_rate_sum += rate;
+      ++pos_n;
+    } else {
+      neg_rate_sum += rate;
+      ++neg_n;
+    }
+  }
+  EXPECT_GT(pos_rate_sum / static_cast<double>(pos_n), 0.55);
+  EXPECT_LT(neg_rate_sum / static_cast<double>(neg_n), 0.25);
+}
+
+TEST(SynthAvazuTest, ResponseDelayNonNegative) {
+  const auto dataset = GenerateSyntheticAvazu(SmallConfig());
+  for (const auto& device : dataset.devices) {
+    EXPECT_GE(device.response_delay_s, 0.0);
+  }
+}
+
+TEST(SynthAvazuTest, RejectsBadConfig) {
+  SynthConfig config;
+  config.num_devices = 0;
+  EXPECT_THROW(GenerateSyntheticAvazu(config), std::invalid_argument);
+  config.num_devices = 10;
+  config.hash_dim = 16;  // too small
+  EXPECT_THROW(GenerateSyntheticAvazu(config), std::invalid_argument);
+}
+
+TEST(RepartitionIidTest, PreservesTotalsAndShardSizes) {
+  auto config = SmallConfig();
+  config.distribution = LabelDistribution::kPolarized;
+  const auto original = GenerateSyntheticAvazu(config);
+  const auto iid = RepartitionIid(original, 99);
+  EXPECT_EQ(iid.devices.size(), original.devices.size());
+  EXPECT_EQ(iid.TotalExamples(), original.TotalExamples());
+  EXPECT_EQ(iid.test_set.size(), original.test_set.size());
+  for (std::size_t d = 0; d < iid.devices.size(); ++d) {
+    EXPECT_EQ(iid.devices[d].examples.size(),
+              original.devices[d].examples.size());
+    EXPECT_EQ(iid.devices[d].device, original.devices[d].device);
+  }
+}
+
+TEST(RepartitionIidTest, ShardsBecomeHomogeneous) {
+  auto config = SmallConfig();
+  config.num_devices = 100;
+  config.records_per_device_mean = 100;
+  config.distribution = LabelDistribution::kPolarized;
+  const auto original = GenerateSyntheticAvazu(config);
+  const auto iid = RepartitionIid(original, 99);
+  const double global = iid.GlobalPositiveRate();
+  // After IID repartition, per-shard positive rates concentrate near the
+  // global rate; in the polarized original they are bimodal.
+  std::size_t near_global = 0;
+  for (const auto& device : iid.devices) {
+    std::size_t pos = 0;
+    for (const auto& e : device.examples) pos += e.label > 0.5f;
+    const double rate =
+        static_cast<double>(pos) / static_cast<double>(device.examples.size());
+    if (std::abs(rate - global) < 0.15) ++near_global;
+  }
+  EXPECT_GT(near_global, 85u);  // >85% of shards close to global
+}
+
+}  // namespace
+}  // namespace simdc::data

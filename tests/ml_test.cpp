@@ -1,0 +1,310 @@
+// Unit tests for the ML substrate: LR model, training operators, metrics,
+// FedAvg.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth_avazu.h"
+#include "ml/fedavg.h"
+#include "ml/lr_model.h"
+#include "ml/metrics.h"
+#include "ml/operators.h"
+
+namespace simdc::ml {
+namespace {
+
+data::Example MakeExample(std::vector<std::uint32_t> features, float label) {
+  data::Example e;
+  e.features = std::move(features);
+  e.label = label;
+  return e;
+}
+
+// ---------- LrModel ----------
+
+TEST(LrModelTest, ZeroModelPredictsHalf) {
+  LrModel model(16);
+  EXPECT_DOUBLE_EQ(model.Predict(MakeExample({1, 2}, 1)), 0.5);
+}
+
+TEST(LrModelTest, ScoreSumsActiveWeights) {
+  LrModel model(8);
+  model.weights()[2] = 1.0f;
+  model.weights()[5] = -0.5f;
+  model.bias() = 0.25f;
+  EXPECT_NEAR(model.Score(MakeExample({2, 5}, 0)), 0.75, 1e-6);
+}
+
+TEST(LrModelTest, PredictIsSigmoidOfScore) {
+  LrModel model(4);
+  model.bias() = 2.0f;
+  EXPECT_NEAR(model.Predict(MakeExample({}, 0)), 1.0 / (1.0 + std::exp(-2.0)),
+              1e-9);
+}
+
+TEST(LrModelTest, SerializationRoundTrip) {
+  LrModel model(32);
+  model.bias() = 0.125f;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    model.weights()[i] = static_cast<float>(i) * 0.25f - 3.0f;
+  }
+  const auto bytes = model.ToBytes();
+  EXPECT_EQ(bytes.size(), model.SerializedSize());
+  auto restored = LrModel::FromBytes(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->dim(), 32u);
+  EXPECT_EQ(restored->bias(), model.bias());
+  EXPECT_NEAR(restored->DistanceTo(model), 0.0, 1e-12);
+}
+
+TEST(LrModelTest, FromBytesRejectsGarbage) {
+  EXPECT_FALSE(LrModel::FromBytes(std::vector<std::byte>(3)).ok());
+  // Truncated payload.
+  LrModel model(16);
+  auto bytes = model.ToBytes();
+  bytes.pop_back();
+  EXPECT_FALSE(LrModel::FromBytes(bytes).ok());
+}
+
+TEST(LrModelTest, DistanceToSelfIsZeroAndSymmetric) {
+  LrModel a(8), b(8);
+  a.weights()[3] = 1.0f;
+  b.weights()[3] = 4.0f;
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), b.DistanceTo(a));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 3.0);
+}
+
+TEST(LrModelTest, DimensionMismatchChecks) {
+  LrModel a(8), b(4);
+  EXPECT_THROW((void)a.DistanceTo(b), std::invalid_argument);
+}
+
+// ---------- Operators ----------
+
+class OperatorTest : public ::testing::TestWithParam<OperatorVenue> {};
+
+TEST_P(OperatorTest, SgdReducesLogLoss) {
+  data::SynthConfig config;
+  config.num_devices = 1;
+  config.records_per_device_mean = 400;
+  config.hash_dim = 1u << 12;
+  config.seed = 3;
+  const auto dataset = data::GenerateSyntheticAvazu(config);
+  const auto& shard = dataset.devices[0].examples;
+
+  LrModel model(config.hash_dim);
+  const double before = LogLoss(model, shard);
+  const auto op = MakeLrOperator(GetParam());
+  TrainConfig train;
+  train.learning_rate = 0.05;
+  train.epochs = 10;
+  op->Train(model, shard, train);
+  const double after = LogLoss(model, shard);
+  EXPECT_LT(after, before - 0.01);
+}
+
+TEST_P(OperatorTest, EmptyShardIsNoop) {
+  LrModel model(64);
+  const auto op = MakeLrOperator(GetParam());
+  op->Train(model, {}, TrainConfig{});
+  LrModel zero(64);
+  EXPECT_DOUBLE_EQ(model.DistanceTo(zero), 0.0);
+}
+
+TEST_P(OperatorTest, DeterministicGivenSeed) {
+  data::SynthConfig config;
+  config.num_devices = 1;
+  config.hash_dim = 1u << 12;
+  config.records_per_device_mean = 100;
+  const auto dataset = data::GenerateSyntheticAvazu(config);
+  const auto op = MakeLrOperator(GetParam());
+  TrainConfig train;
+  train.shuffle_seed = 77;
+  LrModel a(config.hash_dim), b(config.hash_dim);
+  op->Train(a, dataset.devices[0].examples, train);
+  op->Train(b, dataset.devices[0].examples, train);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Venues, OperatorTest,
+                         ::testing::Values(OperatorVenue::kServer,
+                                           OperatorVenue::kMobile),
+                         [](const auto& info) {
+                           return info.param == OperatorVenue::kServer
+                                      ? "Server"
+                                      : "Mobile";
+                         });
+
+TEST(OperatorDivergenceTest, KernelsAreCloseButNotIdentical) {
+  // §VI-B2: the PyMNN-like and MNN-like kernels must produce *slightly*
+  // different numerics (different precision / traversal) while remaining
+  // statistically equivalent — that is the premise of Fig. 6.
+  data::SynthConfig config;
+  config.num_devices = 1;
+  config.records_per_device_mean = 300;
+  config.hash_dim = 1u << 12;
+  const auto dataset = data::GenerateSyntheticAvazu(config);
+  const auto& shard = dataset.devices[0].examples;
+
+  TrainConfig train;
+  train.learning_rate = 1e-2;
+  train.epochs = 10;
+  train.shuffle_seed = 5;
+  LrModel server_model(config.hash_dim), mobile_model(config.hash_dim);
+  ServerLrOperator().Train(server_model, shard, train);
+  MobileLrOperator().Train(mobile_model, shard, train);
+
+  const double distance = server_model.DistanceTo(mobile_model);
+  EXPECT_GT(distance, 0.0);      // numerically distinct
+  EXPECT_LT(distance, 0.5);      // but equivalent in effect
+  const double acc_server = Accuracy(server_model, shard);
+  const double acc_mobile = Accuracy(mobile_model, shard);
+  EXPECT_NEAR(acc_server, acc_mobile, 0.02);
+}
+
+TEST(OperatorNamesTest, Distinct) {
+  EXPECT_NE(ServerLrOperator().name(), MobileLrOperator().name());
+}
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, AccuracyOnSeparableData) {
+  LrModel model(4);
+  model.weights()[0] = 5.0f;
+  model.weights()[1] = -5.0f;
+  std::vector<data::Example> examples = {
+      MakeExample({0}, 1), MakeExample({1}, 0), MakeExample({0}, 1),
+      MakeExample({1}, 1)};  // last one misclassified
+  EXPECT_DOUBLE_EQ(Accuracy(model, examples), 0.75);
+}
+
+TEST(MetricsTest, AccuracyEmptyIsZero) {
+  LrModel model(4);
+  EXPECT_DOUBLE_EQ(Accuracy(model, {}), 0.0);
+}
+
+TEST(MetricsTest, LogLossOfZeroModelIsLn2) {
+  LrModel model(4);
+  std::vector<data::Example> examples = {MakeExample({0}, 1),
+                                         MakeExample({1}, 0)};
+  EXPECT_NEAR(LogLoss(model, examples), std::log(2.0), 1e-9);
+}
+
+TEST(MetricsTest, AucPerfectRanking) {
+  LrModel model(4);
+  model.weights()[0] = 3.0f;
+  std::vector<data::Example> examples = {
+      MakeExample({0}, 1), MakeExample({0}, 1), MakeExample({1}, 0),
+      MakeExample({2}, 0)};
+  EXPECT_DOUBLE_EQ(Auc(model, examples), 1.0);
+}
+
+TEST(MetricsTest, AucRandomScoresNearHalf) {
+  LrModel model(4);  // all-zero: every score ties → AUC 0.5 by convention
+  std::vector<data::Example> examples;
+  for (int i = 0; i < 100; ++i) {
+    examples.push_back(MakeExample({static_cast<std::uint32_t>(i % 4)},
+                                   i % 3 == 0 ? 1.0f : 0.0f));
+  }
+  EXPECT_NEAR(Auc(model, examples), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, AucSingleClassIsHalf) {
+  LrModel model(4);
+  std::vector<data::Example> examples = {MakeExample({0}, 1),
+                                         MakeExample({1}, 1)};
+  EXPECT_DOUBLE_EQ(Auc(model, examples), 0.5);
+}
+
+TEST(MetricsTest, EvaluateBundlesAll) {
+  LrModel model(4);
+  std::vector<data::Example> examples = {MakeExample({0}, 1),
+                                         MakeExample({1}, 0)};
+  const auto report = Evaluate(model, examples);
+  EXPECT_EQ(report.examples, 2u);
+  EXPECT_NEAR(report.logloss, std::log(2.0), 1e-9);
+}
+
+// ---------- FedAvg ----------
+
+TEST(FedAvgTest, WeightedAverageBySamples) {
+  LrModel a(4), b(4);
+  a.weights()[0] = 1.0f;
+  a.bias() = 1.0f;
+  b.weights()[0] = 4.0f;
+  b.bias() = -2.0f;
+  FedAvgAggregator agg(4);
+  ASSERT_TRUE(agg.Add(a, 1).ok());
+  ASSERT_TRUE(agg.Add(b, 3).ok());
+  auto avg = agg.Aggregate();
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->weights()[0], (1.0 * 1 + 4.0 * 3) / 4.0, 1e-6);
+  EXPECT_NEAR(avg->bias(), (1.0 * 1 - 2.0 * 3) / 4.0, 1e-6);
+  EXPECT_EQ(agg.clients(), 2u);
+  EXPECT_EQ(agg.total_samples(), 4u);
+}
+
+TEST(FedAvgTest, SingleClientIsIdentity) {
+  LrModel a(8);
+  a.weights()[5] = 2.5f;
+  FedAvgAggregator agg(8);
+  ASSERT_TRUE(agg.Add(a, 10).ok());
+  auto avg = agg.Aggregate();
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->DistanceTo(a), 0.0, 1e-6);
+}
+
+TEST(FedAvgTest, RejectsMismatchedDimAndZeroSamples) {
+  FedAvgAggregator agg(8);
+  EXPECT_FALSE(agg.Add(LrModel(4), 1).ok());
+  EXPECT_FALSE(agg.Add(LrModel(8), 0).ok());
+}
+
+TEST(FedAvgTest, AggregateWithoutUpdatesFails) {
+  FedAvgAggregator agg(8);
+  EXPECT_FALSE(agg.Aggregate().ok());
+}
+
+TEST(FedAvgTest, ResetClears) {
+  FedAvgAggregator agg(4);
+  LrModel a(4);
+  a.weights()[0] = 8.0f;
+  ASSERT_TRUE(agg.Add(a, 2).ok());
+  agg.Reset();
+  EXPECT_EQ(agg.clients(), 0u);
+  EXPECT_FALSE(agg.Aggregate().ok());
+  LrModel b(4);
+  b.weights()[0] = 2.0f;
+  ASSERT_TRUE(agg.Add(b, 1).ok());
+  auto avg = agg.Aggregate();
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->weights()[0], 2.0, 1e-6);  // no leakage from before reset
+}
+
+TEST(FedAvgTest, OneShotHelperMatchesAggregator) {
+  std::vector<ClientUpdate> updates;
+  for (int i = 0; i < 3; ++i) {
+    ClientUpdate u{LrModel(4), static_cast<std::size_t>(i + 1),
+                   static_cast<std::uint64_t>(i)};
+    u.model.weights()[0] = static_cast<float>(i);
+    updates.push_back(std::move(u));
+  }
+  auto result = FedAvg(updates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->weights()[0], (0 * 1 + 1 * 2 + 2 * 3) / 6.0, 1e-6);
+  EXPECT_FALSE(FedAvg({}).ok());
+}
+
+TEST(FedAvgTest, AverageOfIdenticalModelsIsUnchanged) {
+  LrModel m(16);
+  for (std::uint32_t i = 0; i < 16; ++i) m.weights()[i] = 0.5f - 0.05f * i;
+  FedAvgAggregator agg(16);
+  for (int k = 0; k < 5; ++k) ASSERT_TRUE(agg.Add(m, 7).ok());
+  auto avg = agg.Aggregate();
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->DistanceTo(m), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace simdc::ml

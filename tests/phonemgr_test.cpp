@@ -1,0 +1,191 @@
+// Unit tests for PhoneMgr: device selection, job submission, benchmarking
+// measurement through the ADB pipeline, termination.
+#include <gtest/gtest.h>
+
+#include "cloud/database.h"
+#include "device/fleet.h"
+#include "phonemgr/phone_mgr.h"
+#include "sim/event_loop.h"
+
+namespace simdc::device {
+namespace {
+
+class PhoneMgrTest : public ::testing::Test {
+ protected:
+  PhoneMgrTest() : mgr_(loop_) {
+    mgr_.RegisterFleet(MakeDefaultCluster(42));
+    mgr_.set_metrics_sink(&db_);
+  }
+
+  static PhoneJob BasicJob(TaskId task, DeviceGrade grade) {
+    PhoneJob job;
+    job.task = task;
+    job.grade = grade;
+    job.devices_to_simulate = 12;
+    job.computing_phones = 3;
+    job.benchmarking_phones = 2;
+    job.rounds = 2;
+    job.round_duration_s = 2.0;
+    job.startup_s = 15.0;
+    job.aggregation_wait_s = 5.0;
+    job.sample_period = Seconds(1.0);
+    return job;
+  }
+
+  sim::EventLoop loop_;
+  PhoneMgr mgr_;
+  cloud::MetricsDatabase db_;
+};
+
+TEST_F(PhoneMgrTest, FleetCounts) {
+  EXPECT_EQ(mgr_.TotalPhones(), 30u);
+  EXPECT_EQ(mgr_.CountTotal(DeviceGrade::kHigh), 17u);  // 4 local + 13 MSP
+  EXPECT_EQ(mgr_.CountTotal(DeviceGrade::kLow), 13u);
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 17u);
+}
+
+TEST_F(PhoneMgrTest, SubmitJobSelectsAndOccupiesPhones) {
+  auto handle = mgr_.SubmitJob(BasicJob(TaskId(1), DeviceGrade::kHigh));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->computing.size(), 3u);
+  EXPECT_EQ(handle->benchmarking.size(), 2u);
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 12u);
+  // Local phones preferred over MSP.
+  std::size_t local = 0;
+  for (PhoneId id : handle->benchmarking) {
+    if (!mgr_.FindPhone(id)->spec().remote_msp) ++local;
+  }
+  for (PhoneId id : handle->computing) {
+    if (!mgr_.FindPhone(id)->spec().remote_msp) ++local;
+  }
+  EXPECT_EQ(local, 4u);  // all 4 local High phones used first
+}
+
+TEST_F(PhoneMgrTest, PhonesFreedOnCompletion) {
+  bool completed = false;
+  auto job = BasicJob(TaskId(2), DeviceGrade::kLow);
+  job.on_complete = [&](TaskId task, SimTime) {
+    completed = true;
+    EXPECT_EQ(task, TaskId(2));
+  };
+  ASSERT_TRUE(mgr_.SubmitJob(job).ok());
+  loop_.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kLow), 13u);
+}
+
+TEST_F(PhoneMgrTest, RoundCompleteHookFiresPerPhonePerRound) {
+  std::size_t hooks = 0;
+  auto job = BasicJob(TaskId(3), DeviceGrade::kHigh);
+  job.on_round_complete = [&](PhoneId, std::size_t, SimTime) { ++hooks; };
+  ASSERT_TRUE(mgr_.SubmitJob(job).ok());
+  loop_.Run();
+  // 5 phones (3 computing + 2 benchmarking) × 2 rounds.
+  EXPECT_EQ(hooks, 10u);
+}
+
+TEST_F(PhoneMgrTest, InsufficientPhonesRejected) {
+  auto job = BasicJob(TaskId(4), DeviceGrade::kHigh);
+  job.computing_phones = 20;  // only 17 High phones exist
+  auto handle = mgr_.SubmitJob(job);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PhoneMgrTest, InvalidJobsRejected) {
+  PhoneJob job;
+  job.task = TaskId(5);
+  job.rounds = 0;
+  EXPECT_FALSE(mgr_.SubmitJob(job).ok());
+  job.rounds = 1;
+  job.devices_to_simulate = 5;
+  job.computing_phones = 0;
+  EXPECT_FALSE(mgr_.SubmitJob(job).ok());
+  job.devices_to_simulate = 0;
+  job.benchmarking_phones = 0;
+  EXPECT_FALSE(mgr_.SubmitJob(job).ok());  // nothing requested
+}
+
+TEST_F(PhoneMgrTest, ConcurrentJobsUseDisjointPhones) {
+  auto h1 = mgr_.SubmitJob(BasicJob(TaskId(6), DeviceGrade::kHigh));
+  auto h2 = mgr_.SubmitJob(BasicJob(TaskId(7), DeviceGrade::kHigh));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  std::set<std::uint64_t> ids;
+  for (const auto* handle : {&*h1, &*h2}) {
+    for (PhoneId id : handle->computing) ids.insert(id.value());
+    for (PhoneId id : handle->benchmarking) ids.insert(id.value());
+  }
+  EXPECT_EQ(ids.size(), 10u);  // no phone shared
+  loop_.Run();
+}
+
+TEST_F(PhoneMgrTest, BenchmarkingSamplesReachDatabase) {
+  auto job = BasicJob(TaskId(8), DeviceGrade::kHigh);
+  auto handle = mgr_.SubmitJob(job);
+  ASSERT_TRUE(handle.ok());
+  loop_.Run();
+  // Sampling covers launch → closure at 1 Hz for each benchmarking phone.
+  const auto samples = db_.QueryTask(TaskId(8));
+  EXPECT_GT(samples.size(), 60u);
+  // Samples from both benchmarking phones, none from computing phones.
+  std::set<std::uint64_t> sampled;
+  for (const auto& s : samples) sampled.insert(s.phone.value());
+  EXPECT_EQ(sampled.size(), 2u);
+  for (PhoneId id : handle->benchmarking) {
+    EXPECT_TRUE(sampled.contains(id.value()));
+  }
+  // Measured quantities look physical.
+  for (const auto& s : samples) {
+    EXPECT_LT(s.current_ua, 0);
+    EXPECT_GT(s.voltage_mv, 3000.0);
+    EXPECT_GE(s.cpu_percent, 0.0);
+  }
+}
+
+TEST_F(PhoneMgrTest, SamplesCoverTrainingStage) {
+  auto job = BasicJob(TaskId(9), DeviceGrade::kLow);
+  ASSERT_TRUE(mgr_.SubmitJob(job).ok());
+  loop_.Run();
+  std::size_t training_samples = 0;
+  for (const auto& s : db_.QueryTask(TaskId(9))) {
+    if (s.stage == ApkStage::kTraining) {
+      ++training_samples;
+      EXPECT_GT(s.cpu_percent, 2.0);   // actively training
+      EXPECT_GT(s.memory_kb, 20000);   // PSS ≥ ~20 MB
+    }
+  }
+  EXPECT_GT(training_samples, 2u);
+}
+
+TEST_F(PhoneMgrTest, TerminateFreesPhonesEarly) {
+  auto job = BasicJob(TaskId(10), DeviceGrade::kHigh);
+  ASSERT_TRUE(mgr_.SubmitJob(job).ok());
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 12u);
+  EXPECT_TRUE(mgr_.TerminateTask(TaskId(10)).ok());
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 17u);
+  EXPECT_FALSE(mgr_.TerminateTask(TaskId(10)).ok());  // already gone
+  loop_.Run();  // leftover events are harmless
+}
+
+TEST_F(PhoneMgrTest, PredictJobSecondsMatchesModel) {
+  auto job = BasicJob(TaskId(11), DeviceGrade::kHigh);
+  // reps = ceil(12/3) = 4 → per round 8 s; 2 rounds + waits + λ + closure.
+  const double predicted = PhoneMgr::PredictJobSeconds(job);
+  EXPECT_NEAR(predicted, 15.0 + 2 * (8.0 + 5.0) + 15.0, 1e-9);
+
+  auto handle = mgr_.SubmitJob(job);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_NEAR(ToSeconds(handle->finish_time), predicted, 1e-6);
+  loop_.Run();
+}
+
+TEST_F(PhoneMgrTest, FindPhoneAndAdb) {
+  EXPECT_NE(mgr_.FindPhone(PhoneId(0)), nullptr);
+  EXPECT_NE(mgr_.FindAdb(PhoneId(0)), nullptr);
+  EXPECT_EQ(mgr_.FindPhone(PhoneId(555)), nullptr);
+  EXPECT_EQ(mgr_.FindAdb(PhoneId(555)), nullptr);
+}
+
+}  // namespace
+}  // namespace simdc::device

@@ -1,0 +1,444 @@
+// Unit + property tests for the scheduler module: the hybrid allocation
+// optimizer (verified against brute force), task queue, resource manager,
+// greedy scheduler and task runner.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/allocation.h"
+#include "sched/resource_manager.h"
+#include "sched/scheduler.h"
+#include "sched/task_queue.h"
+#include "sched/task_runner.h"
+
+namespace simdc::sched {
+namespace {
+
+using device::DeviceGrade;
+
+GradeAllocationInput HighGrade(std::size_t n, std::size_t q = 0) {
+  GradeAllocationInput g;
+  g.total_devices = n;
+  g.benchmarking = q;
+  g.logical_bundles = 80;   // f: 10 concurrent High devices (k=8)
+  g.bundles_per_device = 8;
+  g.phones = 4;
+  g.alpha_s = 2.4;
+  g.beta_s = 1.6;
+  g.lambda_s = 15.0;
+  return g;
+}
+
+GradeAllocationInput LowGrade(std::size_t n, std::size_t q = 0) {
+  GradeAllocationInput g;
+  g.total_devices = n;
+  g.benchmarking = q;
+  g.logical_bundles = 40;
+  g.bundles_per_device = 4;
+  g.phones = 6;
+  g.alpha_s = 5.2;
+  g.beta_s = 3.8;
+  g.lambda_s = 21.0;
+  return g;
+}
+
+// ---------- PredictMakespan ----------
+
+TEST(PredictMakespanTest, MatchesHandComputation) {
+  // x=20 of 30 High devices logical: ceil(8·20/80)·2.4 = 2·2.4 = 4.8 s;
+  // 10 on 4 phones: ceil(10/4)·1.6 + 15 = 19.8 s.
+  double tl = 0, tp = 0;
+  const double t =
+      PredictMakespan({HighGrade(30)}, {20}, &tl, &tp);
+  EXPECT_DOUBLE_EQ(tl, 4.8);
+  EXPECT_DOUBLE_EQ(tp, 19.8);
+  EXPECT_DOUBLE_EQ(t, 19.8);
+}
+
+TEST(PredictMakespanTest, AllLogicalHasNoPhoneTime) {
+  double tl = 0, tp = 0;
+  PredictMakespan({HighGrade(30)}, {30}, &tl, &tp);
+  EXPECT_DOUBLE_EQ(tp, 0.0);  // no devices, no benchmarking → no λ
+}
+
+TEST(PredictMakespanTest, BenchmarkingAlwaysCostsLambda) {
+  double tl = 0, tp = 0;
+  PredictMakespan({HighGrade(30, /*q=*/2)}, {28}, &tl, &tp);
+  EXPECT_DOUBLE_EQ(tp, 1.6 + 15.0);  // benchmarking phones still run
+}
+
+TEST(PredictMakespanTest, OverAllocationClamps) {
+  // Asking for more logical devices than placeable clamps to placeable.
+  const double t1 = PredictMakespan({HighGrade(10)}, {10});
+  const double t2 = PredictMakespan({HighGrade(10)}, {999});
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+// ---------- Optimizer vs brute force (design decision D1) ----------
+
+struct AllocationCase {
+  std::vector<GradeAllocationInput> grades;
+  std::string name;
+};
+
+class AllocationPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationPropertyTest, OptimizerMatchesBruteForce) {
+  // Randomized small instances: the binary-search optimizer must find the
+  // same optimal makespan as exhaustive search (and the same Σx under the
+  // prefer-logical tie-break).
+  Rng rng(GetParam());
+  std::vector<GradeAllocationInput> grades;
+  const std::size_t c = 1 + static_cast<std::size_t>(rng.UniformInt(0, 1));
+  for (std::size_t i = 0; i < c; ++i) {
+    GradeAllocationInput g;
+    g.total_devices = static_cast<std::size_t>(rng.UniformInt(1, 18));
+    g.benchmarking = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(g.total_devices) / 3));
+    g.bundles_per_device = static_cast<std::size_t>(rng.UniformInt(1, 8));
+    g.logical_bundles = static_cast<std::size_t>(rng.UniformInt(0, 40));
+    g.phones = static_cast<std::size_t>(rng.UniformInt(0, 5));
+    g.alpha_s = rng.Uniform(0.5, 6.0);
+    g.beta_s = rng.Uniform(0.5, 6.0);
+    g.lambda_s = rng.Uniform(0.0, 25.0);
+    if (g.logical_bundles == 0 && g.phones == 0) g.phones = 1;
+    grades.push_back(g);
+  }
+
+  for (const bool prefer_logical : {true, false}) {
+    auto fast = SolveHybridAllocation(grades, prefer_logical);
+    auto slow = BruteForceAllocation(grades, prefer_logical);
+    ASSERT_EQ(fast.ok(), slow.ok());
+    if (!fast.ok()) continue;
+    EXPECT_NEAR(fast->total_seconds, slow->total_seconds, 1e-6)
+        << "prefer_logical=" << prefer_logical;
+    std::size_t sum_fast = 0, sum_slow = 0;
+    for (std::size_t x : fast->logical_devices) sum_fast += x;
+    for (std::size_t x : slow->logical_devices) sum_slow += x;
+    EXPECT_EQ(sum_fast, sum_slow) << "prefer_logical=" << prefer_logical;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AllocationPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(AllocationTest, OptimizerBeatsOrTiesFixedRatios) {
+  // Fig. 7's claim: the optimizer is never slower than Types 1–5.
+  const std::vector<GradeAllocationInput> grades = {HighGrade(100, 5),
+                                                    LowGrade(100, 5)};
+  auto optimal = SolveHybridAllocation(grades);
+  ASSERT_TRUE(optimal.ok());
+  for (const double ratio : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const auto fixed = FixedRatioAllocation(grades, ratio);
+    const double t = PredictMakespan(grades, fixed);
+    EXPECT_LE(optimal->total_seconds, t + 1e-9) << "ratio=" << ratio;
+  }
+}
+
+TEST(AllocationTest, PreferLogicalMaximizesLogicalShare) {
+  const std::vector<GradeAllocationInput> grades = {HighGrade(40)};
+  auto logical = SolveHybridAllocation(grades, /*prefer_logical=*/true);
+  auto phones = SolveHybridAllocation(grades, /*prefer_logical=*/false);
+  ASSERT_TRUE(logical.ok());
+  ASSERT_TRUE(phones.ok());
+  EXPECT_NEAR(logical->total_seconds, phones->total_seconds, 1e-9);
+  EXPECT_GE(logical->logical_devices[0], phones->logical_devices[0]);
+}
+
+TEST(AllocationTest, NoPhonesForcesAllLogical) {
+  auto g = HighGrade(20);
+  g.phones = 0;
+  auto result = SolveHybridAllocation({g});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->logical_devices[0], 20u);
+}
+
+TEST(AllocationTest, NoBundlesForcesAllPhones) {
+  auto g = HighGrade(20);
+  g.logical_bundles = 0;
+  auto result = SolveHybridAllocation({g});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->logical_devices[0], 0u);
+}
+
+TEST(AllocationTest, NoResourcesAtAllFails) {
+  auto g = HighGrade(20);
+  g.phones = 0;
+  g.logical_bundles = 0;
+  EXPECT_FALSE(SolveHybridAllocation({g}).ok());
+}
+
+TEST(AllocationTest, EmptyAndInvalidInputs) {
+  EXPECT_FALSE(SolveHybridAllocation({}).ok());
+  auto g = HighGrade(5);
+  g.benchmarking = 6;
+  EXPECT_FALSE(SolveHybridAllocation({g}).ok());
+}
+
+TEST(AllocationTest, ZeroDevicesIsTrivial) {
+  auto result = SolveHybridAllocation({HighGrade(0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_seconds, 0.0);
+}
+
+TEST(AllocationTest, LargeScaleRunsFast) {
+  // 10,000 devices per grade — candidate set stays manageable.
+  auto high = HighGrade(10000, 5);
+  high.logical_bundles = 200;
+  high.phones = 17;
+  auto low = LowGrade(10000, 5);
+  low.phones = 13;
+  auto result = SolveHybridAllocation({high, low});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_seconds, 0.0);
+  // Both venues should be saturated near the optimum (no idle side).
+  EXPECT_GT(result->logical_devices[0], 0u);
+  EXPECT_LT(result->logical_devices[0], 10000u);
+}
+
+TEST(FixedRatioTest, EndpointsAndRounding) {
+  const std::vector<GradeAllocationInput> grades = {HighGrade(10, 2)};
+  EXPECT_EQ(FixedRatioAllocation(grades, 1.0)[0], 8u);  // placeable = 8
+  EXPECT_EQ(FixedRatioAllocation(grades, 0.0)[0], 0u);
+  EXPECT_EQ(FixedRatioAllocation(grades, 0.5)[0], 4u);
+}
+
+// ---------- TaskQueue ----------
+
+TaskSpec MakeTask(std::uint64_t id, int priority) {
+  TaskSpec task;
+  task.id = TaskId(id);
+  task.priority = priority;
+  DeviceRequirement requirement;
+  requirement.grade = DeviceGrade::kHigh;
+  requirement.num_devices = 10;
+  requirement.logical_bundles = 16;
+  requirement.phones = 2;
+  task.requirements.push_back(requirement);
+  return task;
+}
+
+TEST(TaskQueueTest, PriorityOrderWithFifoTieBreak) {
+  TaskQueue queue;
+  ASSERT_TRUE(queue.Submit(MakeTask(1, 0)).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(2, 5)).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(3, 5)).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(4, 1)).ok());
+  const auto ordered = queue.SnapshotOrdered();
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(ordered[0].id, TaskId(2));  // priority 5, submitted first
+  EXPECT_EQ(ordered[1].id, TaskId(3));
+  EXPECT_EQ(ordered[2].id, TaskId(4));
+  EXPECT_EQ(ordered[3].id, TaskId(1));
+}
+
+TEST(TaskQueueTest, DuplicateSubmitRejected) {
+  TaskQueue queue;
+  ASSERT_TRUE(queue.Submit(MakeTask(1, 0)).ok());
+  EXPECT_FALSE(queue.Submit(MakeTask(1, 3)).ok());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(TaskQueueTest, RemoveSpecific) {
+  TaskQueue queue;
+  ASSERT_TRUE(queue.Submit(MakeTask(1, 0)).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(2, 0)).ok());
+  auto removed = queue.Remove(TaskId(1));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id, TaskId(1));
+  EXPECT_FALSE(queue.Contains(TaskId(1)));
+  EXPECT_FALSE(queue.Remove(TaskId(1)).has_value());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+// ---------- ResourceManager ----------
+
+TEST(ResourceManagerTest, FreezeReleaseRoundTrip) {
+  ResourceManager manager(100, {4, 6});
+  ResourceRequest request;
+  request.logical_bundles = 60;
+  request.phones = {2, 3};
+  EXPECT_TRUE(manager.Fits(request));
+  ASSERT_TRUE(manager.Freeze(request).ok());
+  const auto snapshot = manager.Snapshot();
+  EXPECT_EQ(snapshot.logical_bundles_free, 40u);
+  EXPECT_EQ(snapshot.phones_free[0], 2u);
+  EXPECT_EQ(snapshot.phones_free[1], 3u);
+  ASSERT_TRUE(manager.Release(request).ok());
+  EXPECT_EQ(manager.Snapshot().logical_bundles_free, 100u);
+}
+
+TEST(ResourceManagerTest, FreezeIsAllOrNothing) {
+  ResourceManager manager(10, {1, 1});
+  ResourceRequest request;
+  request.logical_bundles = 5;
+  request.phones = {2, 0};  // too many High phones
+  EXPECT_FALSE(manager.Freeze(request).ok());
+  EXPECT_EQ(manager.Snapshot().logical_bundles_free, 10u);  // untouched
+}
+
+TEST(ResourceManagerTest, OverReleaseClampsWithError) {
+  ResourceManager manager(10, {2, 2});
+  ResourceRequest request;
+  request.logical_bundles = 4;
+  ASSERT_TRUE(manager.Freeze(request).ok());
+  ResourceRequest big;
+  big.logical_bundles = 9;
+  EXPECT_FALSE(manager.Release(big).ok());
+  EXPECT_EQ(manager.Snapshot().logical_bundles_free, 10u);
+}
+
+TEST(ResourceManagerTest, DynamicScaling) {
+  ResourceManager manager(10, {2, 2});
+  manager.ScaleUpLogical(10);
+  EXPECT_EQ(manager.Snapshot().logical_bundles_total, 20u);
+  ResourceRequest request;
+  request.logical_bundles = 15;
+  ASSERT_TRUE(manager.Freeze(request).ok());
+  EXPECT_FALSE(manager.ScaleDownLogical(10).ok());  // below in-use
+  ASSERT_TRUE(manager.Release(request).ok());
+  EXPECT_TRUE(manager.ScaleDownLogical(10).ok());
+  manager.AddPhones(DeviceGrade::kLow, 3);
+  EXPECT_EQ(manager.Snapshot().phones_total[1], 5u);
+  EXPECT_TRUE(manager.RemovePhones(DeviceGrade::kLow, 5).ok());
+  EXPECT_FALSE(manager.RemovePhones(DeviceGrade::kLow, 1).ok());
+}
+
+// ---------- GreedyScheduler ----------
+
+TEST(GreedySchedulerTest, LaunchesHighestPriorityThatFits) {
+  ResourceManager manager(40, {4, 6});
+  GreedyScheduler scheduler(manager);
+  TaskQueue queue;
+  // Task 2 (priority 9) wants everything; task 1 (priority 1) is small.
+  auto big = MakeTask(2, 9);
+  big.requirements[0].logical_bundles = 40;
+  big.requirements[0].phones = 4;
+  ASSERT_TRUE(queue.Submit(MakeTask(1, 1)).ok());
+  ASSERT_TRUE(queue.Submit(big).ok());
+
+  const auto launched = scheduler.SchedulePass(queue);
+  // Big task frozen first (priority), small one no longer fits.
+  ASSERT_EQ(launched.size(), 1u);
+  EXPECT_EQ(launched[0].id, TaskId(2));
+  EXPECT_TRUE(queue.Contains(TaskId(1)));
+
+  // After releasing, the next pass launches the small task.
+  ASSERT_TRUE(manager.Release(RequestFor(launched[0])).ok());
+  const auto second = scheduler.SchedulePass(queue);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, TaskId(1));
+}
+
+TEST(GreedySchedulerTest, LaunchesMultipleWhenAllFit) {
+  ResourceManager manager(100, {8, 8});
+  GreedyScheduler scheduler(manager);
+  TaskQueue queue;
+  ASSERT_TRUE(queue.Submit(MakeTask(1, 1)).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(2, 2)).ok());
+  const auto launched = scheduler.SchedulePass(queue);
+  EXPECT_EQ(launched.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestForTest, SumsAcrossRequirements) {
+  TaskSpec task = MakeTask(1, 0);
+  DeviceRequirement low;
+  low.grade = DeviceGrade::kLow;
+  low.num_devices = 5;
+  low.logical_bundles = 8;
+  low.phones = 1;
+  low.benchmarking_phones = 2;
+  task.requirements.push_back(low);
+  const auto request = RequestFor(task);
+  EXPECT_EQ(request.logical_bundles, 24u);
+  EXPECT_EQ(request.phones[0], 2u);
+  EXPECT_EQ(request.phones[1], 3u);  // phones + benchmarking
+}
+
+// ---------- TaskRunner ----------
+
+TEST(TaskRunnerTest, RunsTasksAndTracksStates) {
+  TaskRunner runner(2);
+  auto task = MakeTask(1, 0);
+  auto future = runner.Launch(task, [](const TaskSpec&) { return Status::Ok(); });
+  EXPECT_TRUE(future.get().ok());
+  runner.WaitAll();
+  EXPECT_EQ(runner.StateOf(TaskId(1)), TaskState::kCompleted);
+  EXPECT_EQ(runner.StateOf(TaskId(42)), TaskState::kQueued);  // unknown
+}
+
+TEST(TaskRunnerTest, FailureAndExceptionBecomeFailedState) {
+  TaskRunner runner(2);
+  auto f1 = runner.Launch(MakeTask(1, 0), [](const TaskSpec&) {
+    return Status(Internal("boom"));
+  });
+  auto f2 = runner.Launch(MakeTask(2, 0), [](const TaskSpec&) -> Status {
+    throw std::runtime_error("kaboom");
+  });
+  EXPECT_FALSE(f1.get().ok());
+  const auto status2 = f2.get();
+  EXPECT_FALSE(status2.ok());
+  EXPECT_NE(status2.error().message().find("kaboom"), std::string::npos);
+  runner.WaitAll();
+  EXPECT_EQ(runner.StateOf(TaskId(1)), TaskState::kFailed);
+  EXPECT_EQ(runner.StateOf(TaskId(2)), TaskState::kFailed);
+}
+
+TEST(TaskRunnerTest, StateCallbackSequence) {
+  TaskRunner runner(1);
+  std::vector<TaskState> states;
+  std::mutex mutex;
+  auto future = runner.Launch(
+      MakeTask(1, 0), [](const TaskSpec&) { return Status::Ok(); },
+      [&](TaskId, TaskState state) {
+        std::lock_guard<std::mutex> lock(mutex);
+        states.push_back(state);
+      });
+  future.get();
+  runner.WaitAll();
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], TaskState::kScheduled);
+  EXPECT_EQ(states[1], TaskState::kRunning);
+  EXPECT_EQ(states[2], TaskState::kCompleted);
+}
+
+TEST(TaskRunnerTest, PlanAllocationFromSpec) {
+  TaskSpec task = MakeTask(1, 0);
+  task.requirements[0].num_devices = 50;
+  task.requirements[0].logical_bundles = 80;
+  task.requirements[0].phones = 4;
+  auto plan = TaskRunner::PlanAllocation(task);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->logical_devices.size(), 1u);
+  EXPECT_GT(plan->total_seconds, 0.0);
+}
+
+TEST(TaskRunnerTest, ConcurrentTasks) {
+  TaskRunner runner(4);
+  std::vector<std::future<Status>> futures;
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    futures.push_back(runner.Launch(MakeTask(i, 0), [](const TaskSpec&) {
+      return Status::Ok();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  runner.WaitAll();
+  EXPECT_EQ(runner.running_count(), 0u);
+}
+
+TEST(TaskStateTest, Names) {
+  EXPECT_STREQ(ToString(TaskState::kQueued), "Queued");
+  EXPECT_STREQ(ToString(TaskState::kFailed), "Failed");
+}
+
+TEST(OperatorFlowTest, DefaultIsDownloadTrainUpload) {
+  const auto flow = DefaultFlOperatorFlow();
+  ASSERT_EQ(flow.size(), 3u);
+  EXPECT_EQ(flow[0].kind, OperatorStep::Kind::kDownload);
+  EXPECT_EQ(flow[1].kind, OperatorStep::Kind::kTrain);
+  EXPECT_EQ(flow[2].kind, OperatorStep::Kind::kUpload);
+}
+
+}  // namespace
+}  // namespace simdc::sched

@@ -1,0 +1,176 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace simdc::sim {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(Seconds(3.0), [&] { order.push_back(3); });
+  loop.ScheduleAt(Seconds(1.0), [&] { order.push_back(1); });
+  loop.ScheduleAt(Seconds(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), Seconds(3.0));
+}
+
+TEST(EventLoopTest, EqualTimestampsAreFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(Seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime observed = -1;
+  loop.ScheduleAt(Millis(250), [&] { observed = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(observed, Millis(250));
+}
+
+TEST(EventLoopTest, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(Seconds(5.0), [] {});
+  loop.Run();
+  SimTime when = -1;
+  loop.ScheduleAt(Seconds(1.0), [&] { when = loop.Now(); });  // in the past
+  loop.Run();
+  EXPECT_EQ(when, Seconds(5.0));  // clamped, time never goes backward
+}
+
+TEST(EventLoopTest, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  loop.ScheduleAt(Seconds(2.0), [] {});
+  loop.Run();
+  SimTime when = 0;
+  loop.ScheduleAfter(Seconds(3.0), [&] { when = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(when, Seconds(5.0));
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.ScheduleAfter(Seconds(1.0), recurse);
+  };
+  loop.ScheduleAt(0, recurse);
+  loop.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.Now(), Seconds(4.0));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const EventHandle handle = loop.ScheduleAt(Seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(loop.Cancel(handle));
+  loop.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, CancelInvalidHandleFails) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(0));
+  EXPECT_FALSE(loop.Cancel(9999));
+}
+
+TEST(EventLoopTest, RunUntilExecutesOnlyDueEvents) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(Seconds(1.0), [&] { ++count; });
+  loop.ScheduleAt(Seconds(2.0), [&] { ++count; });
+  loop.ScheduleAt(Seconds(10.0), [&] { ++count; });
+  EXPECT_EQ(loop.RunUntil(Seconds(5.0)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.Now(), Seconds(5.0));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventLoop loop;
+  EXPECT_EQ(loop.RunUntil(Seconds(7.0)), 0u);
+  EXPECT_EQ(loop.Now(), Seconds(7.0));
+}
+
+TEST(EventLoopTest, StepExecutesOne) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(1, [&] { ++count; });
+  loop.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(EventLoopTest, ProcessedCountAccumulates) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.ScheduleAt(i, [] {});
+  loop.Run();
+  EXPECT_EQ(loop.processed(), 7u);
+}
+
+TEST(PeriodicTimerTest, TicksAtPeriod) {
+  EventLoop loop;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(loop, Seconds(2.0),
+                      [&](SimTime t) { ticks.push_back(t); },
+                      /*max_ticks=*/4);
+  timer.Start();
+  loop.Run();
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_EQ(ticks[0], Seconds(2.0));
+  EXPECT_EQ(ticks[3], Seconds(8.0));
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, StopHaltsFutureTicks) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTimer timer(loop, Seconds(1.0), [&](SimTime) { ++ticks; });
+  timer.Start();
+  loop.RunUntil(Seconds(3.5));
+  timer.Stop();
+  loop.Run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimerTest, StopFromWithinCallback) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTimer* self = nullptr;
+  PeriodicTimer timer(loop, Seconds(1.0), [&](SimTime) {
+    if (++ticks == 2) self->Stop();
+  });
+  self = &timer;
+  timer.Start();
+  loop.Run();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimerTest, UnboundedRunsUntilStopped) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTimer timer(loop, Seconds(1.0), [&](SimTime) { ++ticks; });
+  timer.Start();
+  loop.RunUntil(Seconds(100.0));
+  EXPECT_EQ(ticks, 100);
+  timer.Stop();
+  loop.Run();
+}
+
+}  // namespace
+}  // namespace simdc::sim
