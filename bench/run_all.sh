@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Build-and-run helper for the SimDC benches.
+#
+# Usage:
+#   bench/run_all.sh [BENCH_BIN_DIR]
+#
+# Runs every bench_* binary found in BENCH_BIN_DIR (default: build/bench,
+# configuring + building the Release tree first if it is missing) and writes
+# one BENCH_<name>.json artifact per bench to the repo root:
+#
+#   { "bench": "...", "wall_ms": ..., "exit_code": ..., "stdout": [...] }
+#
+# These artifacts are the perf baseline later PRs are measured against.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bin_dir="${1:-$repo_root/build/bench}"
+
+benches=("$bin_dir"/bench_*)
+if [[ ! -e "${benches[0]}" ]]; then
+  if [[ $# -ge 1 ]]; then
+    echo "error: no bench_* binaries in $bin_dir" >&2
+    exit 1
+  fi
+  # Default location and nothing built yet: build the Release benches in a
+  # dedicated tree. Tests stay off — this path only needs bench_* — and a
+  # separate binary dir keeps those cache settings out of the user's build/.
+  echo "== bench binaries not found in $bin_dir; building build-bench tree =="
+  cmake -B "$repo_root/build-bench" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+    -DSIMDC_BUILD_TESTS=OFF -DSIMDC_BUILD_EXAMPLES=OFF
+  cmake --build "$repo_root/build-bench" -j
+  bin_dir="$repo_root/build-bench/bench"
+  benches=("$bin_dir"/bench_*)
+  if [[ ! -e "${benches[0]}" ]]; then
+    echo "error: build produced no bench_* binaries in $bin_dir" >&2
+    exit 1
+  fi
+fi
+
+# Stamp the artifacts with the build type of the tree the binaries came
+# from, so a Debug-built baseline can't masquerade as a Release one.
+build_type="unknown"
+if [[ -f "$bin_dir/../CMakeCache.txt" ]]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$bin_dir/../CMakeCache.txt")"
+  [[ -n "$build_type" ]] || build_type="unknown"
+fi
+if [[ "$build_type" != "Release" ]]; then
+  echo "warning: benches built as '$build_type', not Release; timings are not a perf baseline" >&2
+fi
+
+for bench in "${benches[@]}"; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  out_json="$repo_root/BENCH_${name#bench_}.json"
+  echo "== $name =="
+
+  start_ns=$(date +%s%N)
+  set +e
+  stdout="$("$bench" 2>&1)"
+  exit_code=$?
+  set -e
+  end_ns=$(date +%s%N)
+  wall_ms=$(( (end_ns - start_ns) / 1000000 ))
+
+  tmp="$(mktemp)"
+  printf '%s\n' "$stdout" > "$tmp"
+  BENCH_NAME="$name" WALL_MS="$wall_ms" EXIT_CODE="$exit_code" BUILD_TYPE="$build_type" \
+    python3 - "$out_json" "$tmp" <<'PY'
+import json, os, sys
+with open(sys.argv[2]) as f:
+    lines = f.read().splitlines()
+doc = {
+    "bench": os.environ["BENCH_NAME"],
+    "build_type": os.environ["BUILD_TYPE"],
+    "wall_ms": int(os.environ["WALL_MS"]),
+    "exit_code": int(os.environ["EXIT_CODE"]),
+    "stdout": lines,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
+  rm -f "$tmp"
+
+  echo "   -> ${out_json#$repo_root/} (${wall_ms} ms, exit $exit_code)"
+  if [[ $exit_code -ne 0 ]]; then
+    echo "error: $name exited with $exit_code" >&2
+    exit "$exit_code"
+  fi
+done
+
+echo "All benches done; artifacts in $repo_root/BENCH_*.json"

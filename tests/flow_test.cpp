@@ -311,7 +311,9 @@ TEST(DiscretizeTest, OffsetsAreWithinIntervalAndIncreasing) {
   for (std::size_t i = 0; i < plan.size(); ++i) {
     EXPECT_GE(plan[i].offset, 0);
     EXPECT_LT(plan[i].offset, Seconds(30.0));
-    if (i > 0) EXPECT_GT(plan[i].offset, plan[i - 1].offset);
+    if (i > 0) {
+      EXPECT_GT(plan[i].offset, plan[i - 1].offset);
+    }
   }
 }
 

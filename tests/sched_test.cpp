@@ -395,7 +395,7 @@ TEST(TaskRunnerTest, StateCallbackSequence) {
         std::lock_guard<std::mutex> lock(mutex);
         states.push_back(state);
       });
-  future.get();
+  EXPECT_TRUE(future.get().ok());
   runner.WaitAll();
   ASSERT_EQ(states.size(), 3u);
   EXPECT_EQ(states[0], TaskState::kScheduled);
