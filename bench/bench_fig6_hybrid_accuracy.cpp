@@ -8,6 +8,7 @@
 // rounds of FedAvg (lr 1e-3, 10 local epochs in the paper; compressed here
 // for runtime). The ACC difference of each hybrid setting vs the local
 // distributed benchmark must stay below 0.5%.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -43,6 +44,7 @@ int main() {
     const auto dataset = data::GenerateSyntheticAvazu(data_config);
 
     auto accuracy_for = [&](double logical_fraction) {
+      const auto start = std::chrono::steady_clock::now();
       sim::EventLoop loop;
       core::FlExperimentConfig config;
       config.rounds = 10;
@@ -57,6 +59,12 @@ int main() {
       config.seed = 77;
       core::FlEngine engine(loop, dataset, config, &pool);
       const auto result = engine.Run();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      bench::OpTimings::Instance().Record(
+          "fl_run_scale_" + std::to_string(scale),
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
       return result.rounds.back().test_accuracy;
     };
 
@@ -77,5 +85,6 @@ int main() {
       "Largest |ACC difference| = %.3f%% — paper requires < 0.5%% across all\n"
       "scales and allocation ratios: %s\n",
       worst, worst < 0.5 ? "REPRODUCED" : "NOT reproduced");
+  bench::EmitOpTimings();
   return worst < 0.5 ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 // per-round training time dominates and the device operators' faster
 // native implementation wins; the optimizer (red line in the paper) is
 // never slower than any fixed ratio.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -63,8 +64,24 @@ int main() {
     if (optimal->total_seconds > best_fixed + 1e-9) {
       optimizer_always_best = false;
     }
+
+    // Per-solve wall time at this scale. The candidate set grows with the
+    // total batch-boundary count B, so this measures the O(B log B)
+    // candidate generation + binary search directly.
+    const std::size_t reps = scale <= 100 ? 2000 : 400;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto solved = sched::SolveHybridAllocation(grades);
+      if (!solved.ok()) return 1;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto total_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    bench::OpTimings::Instance().Record(
+        "solve_hybrid_scale_" + std::to_string(scale), total_ns, reps);
   }
   bench::PrintRule();
+  bench::EmitOpTimings();
   std::printf(
       "Shape checks vs paper: small scales favor logical-heavy types (APK\n"
       "startup dominates); the optimizer's time is <= every fixed ratio at\n"

@@ -7,10 +7,13 @@
 
 #include "cloud/storage.h"
 #include "data/synth_avazu.h"
+#include "device/grade.h"
 #include "flow/rate_functions.h"
 #include "flow/strategy.h"
 #include "ml/fedavg.h"
+#include "ml/metrics.h"
 #include "ml/operators.h"
+#include "sched/allocation.h"
 #include "sim/event_loop.h"
 
 namespace {
@@ -119,6 +122,69 @@ void BM_EventLoopThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_EventLoopThroughput)->Arg(1024)->Arg(65536);
+
+void BM_Evaluate(benchmark::State& state) {
+  // Single-pass Evaluate: accuracy + logloss + AUC from one forward pass.
+  const auto& dataset = Shards();
+  ml::LrModel model(dataset.hash_dim);
+  ml::ServerLrOperator op;
+  op.Train(model, dataset.devices[0].examples, {});
+  std::vector<data::Example> pool;
+  for (const auto& device : dataset.devices) {
+    pool.insert(pool.end(), device.examples.begin(), device.examples.end());
+  }
+  for (auto _ : state) {
+    const auto report = ml::Evaluate(model, pool);
+    benchmark::DoNotOptimize(report.auc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(BM_Evaluate);
+
+void BM_SolveHybridAllocation(benchmark::State& state) {
+  // Fig. 7 solver: candidate generation dominates at large device counts.
+  const auto scale = static_cast<std::size_t>(state.range(0));
+  std::vector<sched::GradeAllocationInput> grades;
+  for (const auto grade_spec :
+       {device::HighGradeSpec(), device::LowGradeSpec()}) {
+    sched::GradeAllocationInput g;
+    g.total_devices = scale;
+    g.logical_bundles = 100;
+    g.bundles_per_device = grade_spec.unit_bundles;
+    g.phones = grade_spec.grade == device::DeviceGrade::kHigh ? 12 : 8;
+    g.alpha_s = grade_spec.alpha_s;
+    g.beta_s = grade_spec.beta_s;
+    g.lambda_s = grade_spec.lambda_s;
+    grades.push_back(g);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::SolveHybridAllocation(grades).ok());
+  }
+}
+BENCHMARK(BM_SolveHybridAllocation)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EventLoopCancelHeavy(benchmark::State& state) {
+  // Schedule n events, cancel every other one, then drain: exercises the
+  // tombstone path on pop (hash-set lookup per event).
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(events);
+    for (std::size_t i = 0; i < events; ++i) {
+      handles.push_back(loop.ScheduleAt(static_cast<SimTime>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < events; i += 2) {
+      benchmark::DoNotOptimize(loop.Cancel(handles[i]));
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(loop.processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventLoopCancelHeavy)->Arg(1024)->Arg(65536);
 
 void BM_SyntheticDataGeneration(benchmark::State& state) {
   data::SynthConfig config;

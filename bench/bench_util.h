@@ -5,7 +5,10 @@
 // on the virtual clock with fixed seeds, so output is deterministic.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,5 +40,68 @@ inline std::string Sparkline(const std::vector<double>& values) {
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Per-op wall-clock timings. Benches record named hot-path operations and
+// emit machine-readable `OPTIME <op> <calls> <total_ns>` lines on exit;
+// run_all.sh folds them into the BENCH_*.json artifacts as an "ops" map, and
+// bench/compare.py diffs those per-op numbers between artifact sets. This is
+// what makes kernel-level speedups (not just end-to-end wall_ms) visible in
+// the perf trajectory. Not thread-safe: record from the main thread only.
+// ---------------------------------------------------------------------------
+
+class OpTimings {
+ public:
+  static OpTimings& Instance() {
+    static OpTimings timings;
+    return timings;
+  }
+
+  void Record(const std::string& op, std::uint64_t total_ns,
+              std::uint64_t calls = 1) {
+    Entry& entry = ops_[op];
+    entry.calls += calls;
+    entry.total_ns += total_ns;
+  }
+
+  /// Prints one OPTIME line per recorded op (sorted by name, so output
+  /// layout is deterministic even though the timings are not).
+  void Emit() const {
+    for (const auto& [op, entry] : ops_) {
+      std::printf("OPTIME %s %llu %llu\n", op.c_str(),
+                  static_cast<unsigned long long>(entry.calls),
+                  static_cast<unsigned long long>(entry.total_ns));
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Entry> ops_;
+};
+
+/// Times a scope and records it under `op` on destruction.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(std::string op)
+      : op_(std::move(op)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedOpTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    OpTimings::Instance().Record(
+        op_, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                     .count()));
+  }
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  std::string op_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void EmitOpTimings() { OpTimings::Instance().Emit(); }
 
 }  // namespace simdc::bench

@@ -8,9 +8,15 @@
 # configuring + building the Release tree first if it is missing) and writes
 # one BENCH_<name>.json artifact per bench to the repo root:
 #
-#   { "bench": "...", "wall_ms": ..., "exit_code": ..., "stdout": [...] }
+#   { "bench": "...", "wall_ms": ..., "exit_code": ..., "commit": "...",
+#     "cpu_model": "...", "ops": {"<op>": {"calls": ..., "total_ns": ...,
+#     "ns_per_call": ...}}, "stdout": [...] }
 #
-# These artifacts are the perf baseline later PRs are measured against.
+# "ops" is parsed from `OPTIME <op> <calls> <total_ns>` lines the benches
+# print (see bench_util.h); the commit and CPU stamps make each artifact
+# attributable to a source revision and a machine. These artifacts are the
+# perf baseline later PRs are measured against — bench/compare.py diffs two
+# artifact sets and flags per-op regressions.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -48,6 +54,16 @@ if [[ "$build_type" != "Release" ]]; then
   echo "warning: benches built as '$build_type', not Release; timings are not a perf baseline" >&2
 fi
 
+# Provenance stamps: the source commit the binaries were (presumably) built
+# from and the CPU they ran on, so a perf trajectory across artifacts is
+# attributable to a revision and a machine.
+commit="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$repo_root" diff --quiet HEAD 2>/dev/null; then
+  commit="${commit}-dirty"
+fi
+cpu_model="$(sed -n 's/^model name[[:space:]]*: //p' /proc/cpuinfo 2>/dev/null | head -n1)"
+[[ -n "$cpu_model" ]] || cpu_model="$(uname -m)"
+
 for bench in "${benches[@]}"; do
   [[ -f "$bench" && -x "$bench" ]] || continue
   name="$(basename "$bench")"
@@ -65,15 +81,37 @@ for bench in "${benches[@]}"; do
   tmp="$(mktemp)"
   printf '%s\n' "$stdout" > "$tmp"
   BENCH_NAME="$name" WALL_MS="$wall_ms" EXIT_CODE="$exit_code" BUILD_TYPE="$build_type" \
+  COMMIT="$commit" CPU_MODEL="$cpu_model" \
     python3 - "$out_json" "$tmp" <<'PY'
 import json, os, sys
 with open(sys.argv[2]) as f:
     lines = f.read().splitlines()
+# Fold `OPTIME <op> <calls> <total_ns>` lines (bench_util.h) into a per-op
+# timing map; they stay in "stdout" too for human inspection.
+ops = {}
+for line in lines:
+    if not line.startswith("OPTIME "):
+        continue
+    fields = line.split()
+    if len(fields) != 4:
+        continue
+    try:
+        calls, total_ns = int(fields[2]), int(fields[3])
+    except ValueError:
+        continue
+    ops[fields[1]] = {
+        "calls": calls,
+        "total_ns": total_ns,
+        "ns_per_call": total_ns / calls if calls else 0.0,
+    }
 doc = {
     "bench": os.environ["BENCH_NAME"],
     "build_type": os.environ["BUILD_TYPE"],
+    "commit": os.environ["COMMIT"],
+    "cpu_model": os.environ["CPU_MODEL"],
     "wall_ms": int(os.environ["WALL_MS"]),
     "exit_code": int(os.environ["EXIT_CODE"]),
+    "ops": ops,
     "stdout": lines,
 }
 with open(sys.argv[1], "w") as f:

@@ -77,6 +77,8 @@ int main() {
   fl.train.epochs = 3;
   fl.trigger = cloud::AggregationTrigger::kScheduled;
   fl.schedule_period = Seconds(30.0);
+  // Train clients on 2 workers; any parallelism gives bit-identical results.
+  fl.parallelism = 2;
   const auto result = platform.RunFlExperiment(dataset, fl);
   std::printf("\nfederated learning (%zu devices, %zu rounds):\n",
               dataset.devices.size(), result.rounds.size());

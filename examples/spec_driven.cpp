@@ -32,6 +32,9 @@ count = 60
 benchmarking = 2
 logical_bundles = 64
 phones = 4
+
+[execution]
+parallelism = 2
 )";
 
 constexpr const char* kSmokeSpec = R"(
@@ -66,9 +69,34 @@ int main(int argc, char** argv) {
     spec_texts = {kNightlySpec, kSmokeSpec};
   }
 
-  core::Platform platform;
+  // Parse each spec once; the [execution] scan below and the task
+  // submission loop share the parsed documents.
+  std::vector<config::IniDocument> docs;
   for (const auto& text : spec_texts) {
-    auto task = config::ParseTaskSpec(text);
+    auto doc = config::ParseIni(text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "spec rejected: %s\n",
+                   doc.error().ToString().c_str());
+      return 1;
+    }
+    docs.push_back(std::move(*doc));
+  }
+
+  // Size the platform's training pool from the first spec that pins a
+  // [execution] parallelism (0 keeps the hardware-concurrency default).
+  core::PlatformConfig platform_config;
+  for (const auto& doc : docs) {
+    auto execution = config::LoadExecution(doc);
+    if (execution.ok() && execution->parallelism > 0) {
+      platform_config.worker_threads = execution->parallelism;
+      std::printf("using parallelism = %zu from spec [execution]\n",
+                  execution->parallelism);
+      break;
+    }
+  }
+  core::Platform platform(platform_config);
+  for (const auto& doc : docs) {
+    auto task = config::LoadTaskSpec(doc);
     if (!task.ok()) {
       std::fprintf(stderr, "spec rejected: %s\n",
                    task.error().ToString().c_str());

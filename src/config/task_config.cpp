@@ -293,6 +293,21 @@ Result<cloud::AggregationConfig> LoadAggregation(const IniDocument& doc,
   return config;
 }
 
+Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
+  ExecutionConfig config;
+  const bool has_section = doc.find("execution") != doc.end();
+  if (auto parallelism = GetInt(doc, "execution", "parallelism");
+      parallelism.ok()) {
+    if (*parallelism < 0) {
+      return InvalidArgument("[execution] parallelism must be >= 0");
+    }
+    config.parallelism = static_cast<std::size_t>(*parallelism);
+  } else if (has_section && parallelism.error().code() != ErrorCode::kNotFound) {
+    return parallelism.error();
+  }
+  return config;
+}
+
 Result<sched::TaskSpec> ParseTaskSpec(std::string_view text) {
   auto doc = ParseIni(text);
   if (!doc.ok()) return doc.error();

@@ -88,6 +88,19 @@ Result<flow::DispatchStrategy> LoadStrategy(const IniDocument& doc);
 Result<cloud::AggregationConfig> LoadAggregation(const IniDocument& doc,
                                                  std::uint32_t model_dim);
 
+/// Execution knobs from the optional [execution] section.
+struct ExecutionConfig {
+  /// Worker threads for CPU-bound local training: 0 = inherit the
+  /// platform's pool, 1 = sequential, N > 1 = exactly N workers
+  /// (FlExperimentConfig::parallelism semantics; results are identical
+  /// at every width).
+  std::size_t parallelism = 0;
+};
+
+/// Reads [execution] (parallelism = N). A missing section or key yields
+/// the defaults; malformed or negative values are rejected.
+Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
+
 /// One-call convenience: parse text and build the TaskSpec.
 Result<sched::TaskSpec> ParseTaskSpec(std::string_view text);
 

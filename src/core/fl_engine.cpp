@@ -17,6 +17,16 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
       flow_(loop),
       rng_(Rng(config_.seed).Split("fl-engine")) {
   SIMDC_CHECK(!dataset.devices.empty(), "FlEngine: dataset has no devices");
+  // Resolve the training parallelism knob (see FlExperimentConfig): 1
+  // forces the sequential path, N > 1 guarantees exactly N workers. The
+  // knob never changes results, only wall time.
+  if (config_.parallelism == 1) {
+    pool_ = nullptr;
+  } else if (config_.parallelism > 1 &&
+             (pool_ == nullptr || pool_->size() != config_.parallelism)) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.parallelism);
+    pool_ = owned_pool_.get();
+  }
   cloud::AggregationConfig agg;
   agg.model_dim = dataset.hash_dim;
   agg.trigger = config_.trigger;

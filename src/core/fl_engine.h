@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cloud/aggregation.h"
@@ -81,6 +82,16 @@ struct FlExperimentConfig {
   SimDuration stall_timeout = Minutes(5.0);
   /// Cap on test/train examples scored per evaluation (speed knob).
   std::size_t eval_cap = 20000;
+  /// Worker threads for per-client local training within a round:
+  ///   0  — inherit whatever pool the caller passed (Platform's worker
+  ///        pool; sequential when constructed without one);
+  ///   1  — force sequential execution in the calling thread;
+  ///   N  — train with exactly N workers (the engine owns a private pool
+  ///        unless the caller's pool already has N threads).
+  /// Results are bit-for-bit identical for every setting: each client draws
+  /// from its own seed-derived RNG stream and updates are reduced in fixed
+  /// client-index order on the event loop.
+  std::size_t parallelism = 0;
   std::uint64_t seed = 1;
   TaskId task = TaskId(1);
 };
@@ -106,6 +117,9 @@ class FlEngine {
   sim::EventLoop& loop_;
   const data::FederatedDataset& dataset_;
   FlExperimentConfig config_;
+  /// Pool created when config_.parallelism asks for a width the caller's
+  /// pool does not provide; pool_ then points at it.
+  std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   cloud::BlobStore storage_;
   flow::DeviceFlow flow_;

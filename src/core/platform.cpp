@@ -172,6 +172,9 @@ void Platform::FinishPart(const std::shared_ptr<RunningTask>& running,
 
 FlRunResult Platform::RunFlExperiment(const data::FederatedDataset& dataset,
                                       FlExperimentConfig config) {
+  // The engine resolves config.parallelism against the shared pool: it
+  // ignores it when sequential is forced, reuses it when the width
+  // matches, and owns a private pool otherwise.
   FlEngine engine(loop_, dataset, std::move(config), &workers_);
   return engine.Run();
 }

@@ -34,6 +34,8 @@ struct PlatformConfig {
   std::size_t msp_high_phones = 13;
   std::size_t msp_low_phones = 7;
   /// Worker threads for CPU-bound training (0 = hardware concurrency).
+  /// This sizes the platform's shared pool; a per-experiment
+  /// FlExperimentConfig::parallelism overrides it for that run.
   std::size_t worker_threads = 0;
   std::uint64_t seed = 42;
 };
@@ -84,6 +86,9 @@ class Platform {
 
   /// Runs a federated-learning experiment end-to-end (training, DeviceFlow
   /// traffic shaping, cloud aggregation) on the platform's event loop.
+  /// Local training uses the platform worker pool unless
+  /// `config.parallelism` pins a different width; results are identical
+  /// either way (see FlExperimentConfig::parallelism).
   FlRunResult RunFlExperiment(const data::FederatedDataset& dataset,
                               FlExperimentConfig config);
 

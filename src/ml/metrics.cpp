@@ -29,18 +29,13 @@ double LogLoss(const LrModel& model,
   return total / static_cast<double>(examples.size());
 }
 
-double Auc(const LrModel& model, std::span<const data::Example> examples) {
-  std::vector<std::pair<double, bool>> scored;
-  scored.reserve(examples.size());
-  std::size_t positives = 0;
-  for (const auto& example : examples) {
-    const bool positive = example.label > 0.5f;
-    positives += positive ? 1 : 0;
-    scored.emplace_back(model.Score(example), positive);
-  }
-  const std::size_t negatives = scored.size() - positives;
-  if (positives == 0 || negatives == 0) return 0.5;
+namespace {
 
+/// Tie-averaged rank statistic over (score, is_positive) pairs. Sorts
+/// `scored` in place; the caller has already ruled out the degenerate
+/// single-class / empty cases.
+double AucFromScored(std::vector<std::pair<double, bool>>& scored,
+                     std::size_t positives) {
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
@@ -57,17 +52,58 @@ double Auc(const LrModel& model, std::span<const data::Example> examples) {
     i = j;
   }
   const auto np = static_cast<double>(positives);
-  const auto nn = static_cast<double>(negatives);
+  const auto nn = static_cast<double>(scored.size() - positives);
   return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+}  // namespace
+
+double Auc(const LrModel& model, std::span<const data::Example> examples) {
+  // Cheap label-only pass first: a single-class (or empty) set is 0.5 by
+  // definition and needs neither the scoring pass nor the pair-sort buffer.
+  std::size_t positives = 0;
+  for (const auto& example : examples) positives += example.label > 0.5f ? 1 : 0;
+  if (positives == 0 || positives == examples.size()) return 0.5;
+
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(examples.size());
+  for (const auto& example : examples) {
+    scored.emplace_back(model.Score(example), example.label > 0.5f);
+  }
+  return AucFromScored(scored, positives);
 }
 
 EvalReport Evaluate(const LrModel& model,
                     std::span<const data::Example> examples) {
+  // Hot path (called twice per FL round): score every example exactly once
+  // and derive all three metrics from that single forward pass, instead of
+  // the three independent passes Accuracy/LogLoss/Auc would make.
   EvalReport report;
-  report.accuracy = Accuracy(model, examples);
-  report.logloss = LogLoss(model, examples);
-  report.auc = Auc(model, examples);
   report.examples = examples.size();
+  report.auc = 0.5;
+  if (examples.empty()) return report;
+
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(examples.size());
+  std::size_t correct = 0;
+  std::size_t positives = 0;
+  double total_logloss = 0.0;
+  for (const auto& example : examples) {
+    const double score = model.Score(example);
+    const double probability = 1.0 / (1.0 + std::exp(-score));
+    const bool actual = example.label > 0.5f;
+    correct += (probability >= 0.5) == actual ? 1 : 0;
+    const double p = std::clamp(probability, 1e-12, 1.0 - 1e-12);
+    total_logloss += actual ? -std::log(p) : -std::log(1.0 - p);
+    positives += actual ? 1 : 0;
+    scored.emplace_back(score, actual);
+  }
+  const auto n = static_cast<double>(examples.size());
+  report.accuracy = static_cast<double>(correct) / n;
+  report.logloss = total_logloss / n;
+  if (positives > 0 && positives < examples.size()) {
+    report.auc = AucFromScored(scored, positives);
+  }
   return report;
 }
 

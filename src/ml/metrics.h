@@ -26,6 +26,9 @@ struct EvalReport {
   std::size_t examples = 0;
 };
 
+/// Computes all three metrics from a single scoring pass over `examples`
+/// (identical results to calling Accuracy/LogLoss/Auc individually, at a
+/// third of the forward-pass cost).
 EvalReport Evaluate(const LrModel& model,
                     std::span<const data::Example> examples);
 

@@ -10,12 +10,12 @@ namespace simdc::ml {
 namespace {
 
 /// Epoch ordering shared by both kernels so their only differences are
-/// numerical (precision / traversal order), not statistical.
-std::vector<std::size_t> EpochOrder(std::size_t n, bool shuffle, Rng& rng) {
-  std::vector<std::size_t> order(n);
+/// numerical (precision / traversal order), not statistical. Refills the
+/// caller's scratch buffer in place: identical permutations to building a
+/// fresh identity each epoch, without the per-epoch allocation.
+void FillEpochOrder(std::vector<std::size_t>& order, bool shuffle, Rng& rng) {
   std::iota(order.begin(), order.end(), 0);
   if (shuffle) rng.Shuffle(order);
-  return order;
 }
 
 }  // namespace
@@ -25,25 +25,33 @@ void ServerLrOperator::Train(LrModel& model,
                              const TrainConfig& config) const {
   if (examples.empty()) return;
   Rng rng(config.shuffle_seed);
-  auto weights = model.weights();
+  // Hoisted out of the example loop: raw weight pointer (span indexing per
+  // feature adds up over epochs × examples × features) and the bias, which
+  // the update writes every example. The bias stays a float between
+  // examples, exactly as when it round-tripped through the model.
+  float* const weights = model.weights().data();
+  float bias = model.bias();
+  const double learning_rate = config.learning_rate;
+  std::vector<std::size_t> order(examples.size());
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto order = EpochOrder(examples.size(), config.shuffle, rng);
+    FillEpochOrder(order, config.shuffle, rng);
     for (const std::size_t i : order) {
       const auto& example = examples[i];
       // Double-precision forward pass, canonical feature order.
-      double score = static_cast<double>(model.bias());
+      double score = static_cast<double>(bias);
       for (std::uint32_t idx : example.features) {
         score += static_cast<double>(weights[idx]);
       }
       const double probability = 1.0 / (1.0 + std::exp(-score));
       const double gradient = probability - static_cast<double>(example.label);
-      const double step = config.learning_rate * gradient;
+      const double step = learning_rate * gradient;
       for (std::uint32_t idx : example.features) {
         weights[idx] = static_cast<float>(static_cast<double>(weights[idx]) - step);
       }
-      model.bias() = static_cast<float>(static_cast<double>(model.bias()) - step);
+      bias = static_cast<float>(static_cast<double>(bias) - step);
     }
   }
+  model.bias() = bias;
 }
 
 void MobileLrOperator::Train(LrModel& model,
@@ -55,29 +63,33 @@ void MobileLrOperator::Train(LrModel& model,
   // (not float rounding) is the dominant source of the small cross-venue
   // divergence Fig. 6 quantifies.
   Rng rng(SplitMix64(config.shuffle_seed ^ 0x4D4F42494C45ULL));
-  auto weights = model.weights();
+  float* const weights = model.weights().data();
+  float bias = model.bias();
+  // The double→float learning-rate conversion happened once per example;
+  // it is loop-invariant, so do it once per call.
+  const float learning_rate = static_cast<float>(config.learning_rate);
+  std::vector<std::size_t> order(examples.size());
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto order = EpochOrder(examples.size(), config.shuffle, rng);
+    FillEpochOrder(order, config.shuffle, rng);
     for (const std::size_t i : order) {
       const auto& example = examples[i];
+      const auto& features = example.features;
       // Single-precision forward pass, reversed traversal — mirrors the
       // different accumulation order a fused mobile kernel produces.
-      float score = model.bias();
-      for (auto it = example.features.rbegin(); it != example.features.rend();
-           ++it) {
-        score += weights[*it];
+      float score = bias;
+      for (std::size_t k = features.size(); k-- > 0;) {
+        score += weights[features[k]];
       }
       // expf: the mobile math library's single-precision exponential.
       const float probability = 1.0f / (1.0f + ::expf(-score));
-      const float step =
-          static_cast<float>(config.learning_rate) * (probability - example.label);
-      for (auto it = example.features.rbegin(); it != example.features.rend();
-           ++it) {
-        weights[*it] -= step;
+      const float step = learning_rate * (probability - example.label);
+      for (std::size_t k = features.size(); k-- > 0;) {
+        weights[features[k]] -= step;
       }
-      model.bias() -= step;
+      bias -= step;
     }
   }
+  model.bias() = bias;
 }
 
 std::unique_ptr<TrainingOperator> MakeLrOperator(OperatorVenue venue) {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <set>
+#include <vector>
 
 namespace simdc::sched {
 namespace {
@@ -133,26 +133,41 @@ Result<AllocationResult> SolveHybridAllocation(
   }
 
   // Candidate makespans: every achievable per-grade batch count boundary.
-  std::set<double> candidates = {0.0};
+  // Generated into a flat vector + one sort + unique — a std::set<double>
+  // here costs one node allocation plus an O(log B) rebalance per boundary,
+  // which dominated solve time at large device counts (Fig. 7).
+  std::size_t candidate_count = 1;
+  for (const auto& g : grades) {
+    const std::size_t R = g.placeable();
+    if (g.logical_bundles > 0) {
+      candidate_count += CeilDiv(g.bundles_per_device * R, g.logical_bundles) + 1;
+    }
+    if (g.phones > 0) candidate_count += CeilDiv(R, g.phones) + 1;
+    if (g.benchmarking > 0) ++candidate_count;
+  }
+  std::vector<double> sorted;
+  sorted.reserve(candidate_count);
+  sorted.push_back(0.0);
   for (const auto& g : grades) {
     const std::size_t R = g.placeable();
     if (g.logical_bundles > 0) {
       const std::size_t max_batches =
           CeilDiv(g.bundles_per_device * R, g.logical_bundles);
       for (std::size_t j = 0; j <= max_batches; ++j) {
-        candidates.insert(static_cast<double>(j) * g.alpha_s);
+        sorted.push_back(static_cast<double>(j) * g.alpha_s);
       }
     }
     if (g.phones > 0) {
       const std::size_t max_batches = CeilDiv(R, g.phones);
       for (std::size_t j = 0; j <= max_batches; ++j) {
-        candidates.insert(static_cast<double>(j) * g.beta_s + g.lambda_s);
+        sorted.push_back(static_cast<double>(j) * g.beta_s + g.lambda_s);
       }
     }
-    if (g.benchmarking > 0) candidates.insert(g.beta_s + g.lambda_s);
+    if (g.benchmarking > 0) sorted.push_back(g.beta_s + g.lambda_s);
   }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
-  const std::vector<double> sorted(candidates.begin(), candidates.end());
   // Binary search the smallest feasible candidate T.
   std::size_t lo = 0, hi = sorted.size();
   auto feasible = [&](double T) {

@@ -7,29 +7,16 @@ namespace simdc::sim {
 EventHandle EventLoop::ScheduleAt(SimTime t, std::function<void()> fn) {
   const EventHandle handle = next_handle_++;
   queue_.push(Event{std::max(t, Now()), next_seq_++, handle, std::move(fn)});
-  ++live_count_;
+  pending_handles_.insert(handle);
   return handle;
 }
 
 bool EventLoop::Cancel(EventHandle handle) {
-  if (handle == 0 || handle >= next_handle_) return false;
-  if (std::find(cancelled_.begin(), cancelled_.end(), handle) !=
-      cancelled_.end()) {
-    return false;
-  }
-  // We cannot remove from the middle of a priority_queue; record a tombstone
-  // that PopNext skips. live_count_ drops immediately so empty() is accurate.
-  // The caller may only cancel events that are still pending; handles of
-  // fired events are never reused, and firing removes any tombstone match,
-  // so a stale cancel is a no-op returning true only for pending events.
-  std::size_t pending_matches = 0;
-  // Cheap scan is not possible on priority_queue; assume handle valid if not
-  // yet fired. Track fired handles implicitly: handles < next_handle_ that
-  // are not in the queue anymore were fired. To keep this O(1) we just trust
-  // the tombstone mechanism; a duplicate or stale cancel is harmless.
-  (void)pending_matches;
-  cancelled_.push_back(handle);
-  if (live_count_ > 0) --live_count_;
+  // Only handles that are still pending can be cancelled; fired, already
+  // cancelled and never-issued handles all fail. We cannot remove from the
+  // middle of a priority_queue, so record a tombstone that PopNext consumes.
+  if (pending_handles_.erase(handle) == 0) return false;
+  cancelled_.insert(handle);
   return true;
 }
 
@@ -39,12 +26,7 @@ bool EventLoop::PopNext(Event& out) {
     // standard workaround and safe because we pop immediately after.
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    const auto it =
-        std::find(cancelled_.begin(), cancelled_.end(), event.handle);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // tombstoned
-    }
+    if (cancelled_.erase(event.handle) > 0) continue;  // tombstoned
     out = std::move(event);
     return true;
   }
@@ -56,7 +38,7 @@ std::size_t EventLoop::Run() {
   Event event;
   while (PopNext(event)) {
     clock_.AdvanceTo(event.time);
-    --live_count_;
+    pending_handles_.erase(event.handle);
     ++processed_;
     ++executed;
     event.fn();
@@ -77,7 +59,7 @@ std::size_t EventLoop::RunUntil(SimTime t) {
       break;
     }
     clock_.AdvanceTo(event.time);
-    --live_count_;
+    pending_handles_.erase(event.handle);
     ++processed_;
     ++executed;
     event.fn();
@@ -90,7 +72,7 @@ bool EventLoop::Step() {
   Event event;
   if (!PopNext(event)) return false;
   clock_.AdvanceTo(event.time);
-  --live_count_;
+  pending_handles_.erase(event.handle);
   ++processed_;
   event.fn();
   return true;

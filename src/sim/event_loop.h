@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -54,8 +55,8 @@ class EventLoop {
   /// Executes exactly one event if any is pending. Returns true if one ran.
   bool Step();
 
-  bool empty() const { return live_count_ == 0; }
-  std::size_t pending() const { return live_count_; }
+  bool empty() const { return pending_handles_.empty(); }
+  std::size_t pending() const { return pending_handles_.size(); }
   std::size_t processed() const { return processed_; }
 
  private:
@@ -76,10 +77,15 @@ class EventLoop {
 
   ManualClock clock_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventHandle> cancelled_;  // tombstones, checked on pop
+  /// Handles scheduled but not yet fired or cancelled. Membership makes
+  /// Cancel() exact (false for fired/unknown handles) and O(1), and doubles
+  /// as the pending()/empty() bookkeeping.
+  std::unordered_set<EventHandle> pending_handles_;
+  /// Tombstones for cancelled events still sitting in the heap; PopNext
+  /// consumes them with an O(1) lookup instead of a linear scan.
+  std::unordered_set<EventHandle> cancelled_;
   std::uint64_t next_seq_ = 0;
   EventHandle next_handle_ = 1;
-  std::size_t live_count_ = 0;
   std::size_t processed_ = 0;
 };
 

@@ -235,6 +235,40 @@ TEST(AggregationConfigTest, RejectsInvalid) {
   EXPECT_TRUE(check("[aggregation]\ntrigger = sample_threshold\nthreshold = 0\n"));
 }
 
+// ---------- Execution loading ----------
+
+TEST(ExecutionConfigTest, ParsesParallelism) {
+  auto doc = ParseIni("[execution]\nparallelism = 4\n");
+  ASSERT_TRUE(doc.ok());
+  auto config = LoadExecution(*doc);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->parallelism, 4u);
+}
+
+TEST(ExecutionConfigTest, MissingSectionOrKeyYieldsDefaults) {
+  auto empty = ParseIni("[task]\nname = x\n");
+  ASSERT_TRUE(empty.ok());
+  auto config = LoadExecution(*empty);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->parallelism, 0u);  // inherit the platform pool
+
+  auto bare = ParseIni("[execution]\n");
+  ASSERT_TRUE(bare.ok());
+  auto bare_config = LoadExecution(*bare);
+  ASSERT_TRUE(bare_config.ok());
+  EXPECT_EQ(bare_config->parallelism, 0u);
+}
+
+TEST(ExecutionConfigTest, RejectsInvalidParallelism) {
+  auto check = [](const std::string& body) {
+    auto doc = ParseIni(body);
+    EXPECT_TRUE(doc.ok());
+    return !LoadExecution(*doc).ok();
+  };
+  EXPECT_TRUE(check("[execution]\nparallelism = -2\n"));
+  EXPECT_TRUE(check("[execution]\nparallelism = lots\n"));
+}
+
 // ---------- round trip into the platform types ----------
 
 TEST(RoundTripTest, FullSpecProducesSchedulableTask) {

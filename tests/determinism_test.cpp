@@ -1,0 +1,138 @@
+// Determinism suite for parallel federated rounds: the
+// FlExperimentConfig::parallelism knob must never change results, only
+// wall time. Each client trains from its own seed-derived RNG stream into
+// a dedicated slot, and updates are reduced in fixed client-index order on
+// the event loop, so runs at any worker count are bit-for-bit identical.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/fl_engine.h"
+#include "core/platform.h"
+#include "data/synth_avazu.h"
+#include "flow/rate_functions.h"
+
+namespace simdc::core {
+namespace {
+
+data::FederatedDataset Dataset(std::size_t devices = 120) {
+  data::SynthConfig config;
+  config.num_devices = devices;
+  config.records_per_device_mean = 12;
+  config.num_test_devices = 10;
+  config.hash_dim = 1u << 12;
+  config.seed = 33;
+  return data::GenerateSyntheticAvazu(config);
+}
+
+FlExperimentConfig BaseConfig() {
+  FlExperimentConfig config;
+  config.rounds = 3;
+  config.train.learning_rate = 0.05;
+  config.train.epochs = 2;
+  config.logical_fraction = 0.5;  // both kernels in play
+  config.trigger = cloud::AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(30.0);
+  config.seed = 7;
+  return config;
+}
+
+FlRunResult RunWith(const data::FederatedDataset& dataset,
+                    FlExperimentConfig config, std::size_t parallelism) {
+  sim::EventLoop loop;
+  config.parallelism = parallelism;
+  FlEngine engine(loop, dataset, std::move(config));
+  return engine.Run();
+}
+
+/// Bit-level equality: EXPECT_EQ on doubles is value equality, which is
+/// what we want everywhere except the (impossible here) NaN case; weights
+/// are compared as raw float vectors.
+void ExpectIdentical(const FlRunResult& a, const FlRunResult& b,
+                     std::size_t parallelism) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << "parallelism=" << parallelism;
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].round, b.rounds[i].round);
+    EXPECT_EQ(a.rounds[i].time, b.rounds[i].time);
+    EXPECT_EQ(a.rounds[i].clients, b.rounds[i].clients);
+    EXPECT_EQ(a.rounds[i].samples, b.rounds[i].samples);
+    EXPECT_EQ(a.rounds[i].test_accuracy, b.rounds[i].test_accuracy);
+    EXPECT_EQ(a.rounds[i].test_logloss, b.rounds[i].test_logloss);
+    EXPECT_EQ(a.rounds[i].train_accuracy, b.rounds[i].train_accuracy);
+    EXPECT_EQ(a.rounds[i].train_logloss, b.rounds[i].train_logloss);
+  }
+  EXPECT_EQ(a.messages_emitted, b.messages_emitted);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  EXPECT_EQ(0, std::memcmp(a.final_weights.data(), b.final_weights.data(),
+                           a.final_weights.size() * sizeof(float)))
+      << "parallelism=" << parallelism;
+  EXPECT_EQ(a.final_bias, b.final_bias) << "parallelism=" << parallelism;
+}
+
+TEST(DeterminismTest, ParallelRunsBitIdenticalToSequential) {
+  const auto dataset = Dataset();
+  const auto sequential = RunWith(dataset, BaseConfig(), 1);
+  ASSERT_EQ(sequential.rounds.size(), 3u);
+  for (const std::size_t parallelism : {2u, 4u, 8u}) {
+    const auto parallel = RunWith(dataset, BaseConfig(), parallelism);
+    ExpectIdentical(sequential, parallel, parallelism);
+  }
+}
+
+TEST(DeterminismTest, DropoutAndPartialParticipationUnaffectedByWorkers) {
+  // Dropout draws and participant sampling run on the event loop / round
+  // RNG streams, never on worker threads — so they too must be invariant.
+  const auto dataset = Dataset();
+  auto config = BaseConfig();
+  config.participants_per_round = 40;
+  config.strategy = flow::RealtimeAccumulated{{1}, 0.3};
+  const auto sequential = RunWith(dataset, config, 1);
+  EXPECT_GT(sequential.messages_dropped, 0u);
+  for (const std::size_t parallelism : {2u, 4u, 8u}) {
+    ExpectIdentical(sequential, RunWith(dataset, config, parallelism),
+                    parallelism);
+  }
+}
+
+TEST(DeterminismTest, PlatformPoolMatchesPrivatePool) {
+  // parallelism = 0 inherits the platform's shared pool; the result must
+  // equal both the sequential run and a privately-pooled run.
+  const auto dataset = Dataset(60);
+  auto config = BaseConfig();
+  config.rounds = 2;
+
+  PlatformConfig platform_config;
+  platform_config.worker_threads = 3;
+  Platform platform(platform_config);
+  auto inherited_config = config;
+  inherited_config.parallelism = 0;
+  const auto inherited = platform.RunFlExperiment(dataset, inherited_config);
+
+  const auto sequential = RunWith(dataset, config, 1);
+  ExpectIdentical(sequential, inherited, 0);
+}
+
+TEST(DeterminismTest, EngineOwnsPoolWhenWidthDiffers) {
+  // A caller pool of the "wrong" width must not leak into training when
+  // the experiment pins a different parallelism.
+  const auto dataset = Dataset(60);
+  auto config = BaseConfig();
+  config.rounds = 2;
+  ThreadPool caller_pool(2);
+
+  auto run_with_pool = [&](std::size_t parallelism) {
+    sim::EventLoop loop;
+    auto pinned = config;
+    pinned.parallelism = parallelism;
+    FlEngine engine(loop, dataset, pinned, &caller_pool);
+    return engine.Run();
+  };
+  const auto sequential = RunWith(dataset, config, 1);
+  ExpectIdentical(sequential, run_with_pool(1), 1);   // knob forces sequential
+  ExpectIdentical(sequential, run_with_pool(2), 2);   // matches caller pool
+  ExpectIdentical(sequential, run_with_pool(5), 5);   // private 5-wide pool
+}
+
+}  // namespace
+}  // namespace simdc::core

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/rng.h"
 #include "data/synth_avazu.h"
 #include "ml/fedavg.h"
 #include "ml/lr_model.h"
@@ -223,6 +224,45 @@ TEST(MetricsTest, EvaluateBundlesAll) {
                                          MakeExample({1}, 0)};
   const auto report = Evaluate(model, examples);
   EXPECT_EQ(report.examples, 2u);
+  EXPECT_NEAR(report.logloss, std::log(2.0), 1e-9);
+}
+
+TEST(MetricsTest, SinglePassEvaluateMatchesIndividualMetrics) {
+  // Evaluate scores each example once and derives all three metrics from
+  // that pass; it must agree exactly with the three standalone functions.
+  LrModel model(16);
+  Rng rng(99);
+  for (auto& w : model.weights()) {
+    w = static_cast<float>(rng.Normal(0.0, 0.7));
+  }
+  model.bias() = 0.2f;
+  std::vector<data::Example> examples;
+  for (int i = 0; i < 200; ++i) {
+    examples.push_back(MakeExample(
+        {static_cast<std::uint32_t>(rng.UniformInt(0, 15)),
+         static_cast<std::uint32_t>(rng.UniformInt(0, 15))},
+        rng.Bernoulli(0.4) ? 1 : 0));
+  }
+  const auto report = Evaluate(model, examples);
+  EXPECT_DOUBLE_EQ(report.accuracy, Accuracy(model, examples));
+  EXPECT_DOUBLE_EQ(report.logloss, LogLoss(model, examples));
+  EXPECT_DOUBLE_EQ(report.auc, Auc(model, examples));
+}
+
+TEST(MetricsTest, EvaluateDegenerateInputs) {
+  LrModel model(4);
+  const auto empty = Evaluate(model, {});
+  EXPECT_EQ(empty.examples, 0u);
+  EXPECT_DOUBLE_EQ(empty.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(empty.logloss, 0.0);
+  EXPECT_DOUBLE_EQ(empty.auc, 0.5);
+
+  // Single-class pools skip the rank computation but keep the rest.
+  std::vector<data::Example> positives = {MakeExample({0}, 1),
+                                          MakeExample({1}, 1)};
+  const auto report = Evaluate(model, positives);
+  EXPECT_DOUBLE_EQ(report.auc, 0.5);
+  EXPECT_DOUBLE_EQ(report.accuracy, Accuracy(model, positives));
   EXPECT_NEAR(report.logloss, std::log(2.0), 1e-9);
 }
 

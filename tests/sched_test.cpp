@@ -122,6 +122,46 @@ TEST_P(AllocationPropertyTest, OptimizerMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, AllocationPropertyTest,
                          ::testing::Range<std::uint64_t>(0, 40));
 
+TEST(AllocationTest, DuplicateBoundariesAcrossGradesMatchBruteForce) {
+  // Regression for the candidate-generation rewrite (flat vector + sort +
+  // unique instead of std::set): identical grades produce every candidate
+  // makespan several times over, and boundary values coincide across the
+  // logical (j·α) and phone (j·β + λ) series. The dedup must not lose or
+  // duplicate a feasible T.
+  GradeAllocationInput g = HighGrade(12, /*q=*/1);
+  g.alpha_s = 2.0;
+  g.beta_s = 2.0;   // phone batches land on the same grid as logical ones
+  g.lambda_s = 4.0; // ... offset by an exact multiple of the batch size
+  const std::vector<GradeAllocationInput> grades = {g, g, g};
+  for (const bool prefer_logical : {true, false}) {
+    auto fast = SolveHybridAllocation(grades, prefer_logical);
+    auto slow = BruteForceAllocation(grades, prefer_logical);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_NEAR(fast->total_seconds, slow->total_seconds, 1e-9)
+        << "prefer_logical=" << prefer_logical;
+  }
+}
+
+TEST(AllocationTest, SingleCandidateDegenerateInstances) {
+  // Post-rewrite edge cases where the candidate vector is tiny: a grade
+  // with nothing placeable (all devices benchmarking) and a grade whose
+  // only resource is the logical cluster.
+  GradeAllocationInput all_bench = HighGrade(2, /*q=*/2);
+  auto result = SolveHybridAllocation({all_bench});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_seconds,
+                   all_bench.beta_s + all_bench.lambda_s);
+
+  GradeAllocationInput logical_only = HighGrade(6);
+  logical_only.phones = 0;
+  auto fast = SolveHybridAllocation({logical_only});
+  auto slow = BruteForceAllocation({logical_only});
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NEAR(fast->total_seconds, slow->total_seconds, 1e-9);
+}
+
 TEST(AllocationTest, OptimizerBeatsOrTiesFixedRatios) {
   // Fig. 7's claim: the optimizer is never slower than Types 1–5.
   const std::vector<GradeAllocationInput> grades = {HighGrade(100, 5),

@@ -85,6 +85,63 @@ TEST(EventLoopTest, CancelInvalidHandleFails) {
   EXPECT_FALSE(loop.Cancel(9999));
 }
 
+TEST(EventLoopTest, MassCancellationKeepsBookkeepingExact) {
+  // Heavy-cancellation path (stall guards, timer stops): cancel half of a
+  // large batch and check pending()/processed() stay exact throughout.
+  EventLoop loop;
+  constexpr std::size_t kEvents = 2000;
+  std::size_t fired = 0;
+  std::vector<EventHandle> handles;
+  handles.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    handles.push_back(
+        loop.ScheduleAt(static_cast<SimTime>(i), [&fired] { ++fired; }));
+  }
+  EXPECT_EQ(loop.pending(), kEvents);
+
+  for (std::size_t i = 0; i < kEvents; i += 2) {
+    EXPECT_TRUE(loop.Cancel(handles[i]));
+    EXPECT_FALSE(loop.Cancel(handles[i]));  // double-cancel is rejected
+  }
+  EXPECT_EQ(loop.pending(), kEvents / 2);
+  EXPECT_FALSE(loop.empty());
+
+  EXPECT_EQ(loop.Run(), kEvents / 2);
+  EXPECT_EQ(fired, kEvents / 2);
+  EXPECT_EQ(loop.processed(), kEvents / 2);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, CancelAfterFireFails) {
+  EventLoop loop;
+  const EventHandle handle = loop.ScheduleAt(Seconds(1.0), [] {});
+  loop.Run();
+  EXPECT_FALSE(loop.Cancel(handle));
+  // A stale cancel must not corrupt bookkeeping for later events.
+  loop.ScheduleAt(Seconds(2.0), [] {});
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(loop.processed(), 2u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, CancelledEventsNeverRunViaRunUntilOrStep) {
+  EventLoop loop;
+  int fired = 0;
+  const EventHandle a = loop.ScheduleAt(Seconds(1.0), [&] { ++fired; });
+  loop.ScheduleAt(Seconds(2.0), [&] { ++fired; });
+  const EventHandle c = loop.ScheduleAt(Seconds(3.0), [&] { ++fired; });
+  EXPECT_TRUE(loop.Cancel(a));
+  EXPECT_EQ(loop.RunUntil(Seconds(1.5)), 0u);  // a was tombstoned
+  EXPECT_TRUE(loop.Cancel(c));
+  EXPECT_TRUE(loop.Step());  // runs b
+  EXPECT_FALSE(loop.Step()); // c tombstoned, nothing left
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.processed(), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
 TEST(EventLoopTest, RunUntilExecutesOnlyDueEvents) {
   EventLoop loop;
   int count = 0;
