@@ -8,6 +8,13 @@
 //   N(0,1) curve scaled to a 1-minute interval and 10,000 messages; the
 //   discretized per-second send volumes track the curve and the cloud's
 //   cumulative count follows its integral.
+//
+// Plus the 100k-message fan-in scenario: the same dispatch schedules at
+// 100,000 messages, run through both delivery paths (one closure per
+// message vs one MessageBatch event per dispatch tick). Emits OPTIME ops
+// that bench/compare.py gates, and self-checks that the batched path is
+// >= 5x faster with bit-identical arrivals.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -24,6 +31,14 @@ class CountingEndpoint final : public flow::CloudEndpoint {
  public:
   void Deliver(const flow::Message&, SimTime arrival) override {
     arrivals.push_back(arrival);
+  }
+  void DeliverBatch(std::span<const flow::Message> messages,
+                    std::span<const SimTime> batch_arrivals) override {
+    // Consume a whole dispatch tick in one call (what cloud::Aggregation
+    // does on the batched path).
+    (void)messages;
+    arrivals.insert(arrivals.end(), batch_arrivals.begin(),
+                    batch_arrivals.end());
   }
   std::vector<SimTime> arrivals;
 
@@ -137,5 +152,92 @@ int main() {
         r > 0.97 ? "yes" : "NO");
     if (r <= 0.97) return 1;
   }
+
+  // ---- 100k-message fan-in: per-message closures vs batched ticks ----
+  {
+    constexpr std::size_t kMessages = 100000;
+    constexpr int kReps = 7;
+
+    // One timed run: fill the shelf, fire the round end, drain the loop.
+    const auto run_once = [&](const flow::DispatchStrategy& strategy,
+                              flow::DeliveryMode mode,
+                              std::vector<SimTime>& arrivals_out) {
+      sim::EventLoop loop;
+      flow::DeviceFlow device_flow(loop);
+      CountingEndpoint cloud;
+      cloud.arrivals.reserve(kMessages);
+      if (!device_flow.ConfigureTask(TaskId(9), strategy, &cloud, 0, mode)
+               .ok()) {
+        std::abort();
+      }
+      FillShelf(device_flow, TaskId(9), kMessages);
+      const auto start = std::chrono::steady_clock::now();
+      if (!device_flow.OnRoundEnd(TaskId(9), 0).ok()) std::abort();
+      loop.Run();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (cloud.arrivals.size() != kMessages) std::abort();
+      arrivals_out = std::move(cloud.arrivals);
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count());
+    };
+
+    // Dispatch + delivery cost for one strategy in one mode: best of
+    // kReps. Only the min is recorded under the OPTIME op — it is far
+    // more stable under machine load than a mean, which keeps the
+    // compare.py regression gate on this op from tripping on noise.
+    const auto measure = [&](const char* op,
+                             const flow::DispatchStrategy& strategy,
+                             flow::DeliveryMode mode,
+                             std::vector<SimTime>& arrivals_out) {
+      std::uint64_t best = ~std::uint64_t{0};
+      for (int rep = 0; rep < kReps; ++rep) {
+        best = std::min(best, run_once(strategy, mode, arrivals_out));
+      }
+      bench::OpTimings::Instance().Record(op, best);
+      return best;
+    };
+
+    flow::TimePointDispatch points;
+    points.points = {{Seconds(1), true, kMessages, 0.0, 0}};
+    flow::TimeIntervalDispatch interval;
+    interval.rate = flow::NormalCurve(1.0);
+    interval.interval = Minutes(3.0);
+
+    std::printf("\n(e) 100k-message fan-in: dispatch+delivery wall time\n");
+    bool all_fast = true;
+    const struct {
+      const char* name;
+      const flow::DispatchStrategy strategy;
+    } scenarios[] = {{"timepoint", points}, {"interval", interval}};
+    for (const auto& scenario : scenarios) {
+      std::vector<SimTime> batched_arrivals, per_message_arrivals;
+      const std::string prefix =
+          std::string("fig10_") + scenario.name + "_100k_";
+      const std::uint64_t batched =
+          measure((prefix + "batched").c_str(), scenario.strategy,
+                  flow::DeliveryMode::kBatched, batched_arrivals);
+      const std::uint64_t per_message =
+          measure((prefix + "per_message").c_str(), scenario.strategy,
+                  flow::DeliveryMode::kPerMessage, per_message_arrivals);
+      if (batched_arrivals != per_message_arrivals) {
+        std::printf("  %s: ARRIVAL MISMATCH between modes\n", scenario.name);
+        return 1;
+      }
+      const double speedup = static_cast<double>(per_message) /
+                             static_cast<double>(std::max<std::uint64_t>(1, batched));
+      std::printf(
+          "  %-9s per-message %8.2f ms | batched %8.2f ms | %5.1fx "
+          "(arrivals bit-identical)\n",
+          scenario.name, static_cast<double>(per_message) / 1e6,
+          static_cast<double>(batched) / 1e6, speedup);
+      if (speedup < 5.0) all_fast = false;
+    }
+    std::printf("  batched path >= 5x faster on both schedules: %s\n",
+                all_fast ? "yes" : "NO");
+    if (!all_fast) return 1;
+  }
+
+  bench::EmitOpTimings();
   return 0;
 }

@@ -100,6 +100,7 @@ def main():
     # losses versus the baseline are always reported, never skipped silently.
     missing = [f"bench {name}" for name in sorted(set(baseline) - set(current))]
     regressions = []
+    speedups = []
     compared = 0
     for name in shared:
         base_ops = baseline[name].get("ops", {})
@@ -126,12 +127,25 @@ def main():
                 regressions.append((name, op, base_ns, cur_ns, ratio))
             elif not gated:
                 marker = "  (below --min-total-ns, informational)"
+            if gated and ratio < 1.0 / 1.05:
+                speedups.append((name, op, 1.0 / ratio))
             print(f"  {name}/{op}: {base_ns / 1e3:.1f} us -> "
                   f"{cur_ns / 1e3:.1f} us ({ratio - 1.0:+.0%}){marker}")
 
+    # Summary reports per-op speedup factors, not just pass/fail: the wins
+    # are as much a part of the perf trajectory as the regressions.
+    speedups.sort(key=lambda entry: -entry[2])
+    if speedups:
+        shown = ", ".join(f"{name}/{op} {factor:.1f}x"
+                          for name, op, factor in speedups[:8])
+        if len(speedups) > 8:
+            shown += f" (+{len(speedups) - 8} more)"
+        speedup_note = f"speedups: {shown}"
+    else:
+        speedup_note = "speedups: none >= 1.05x"
     print(f"\ncompared {compared} ops across {len(shared)} benches; "
           f"{len(regressions)} regression(s) beyond "
-          f"{args.threshold:.0%}")
+          f"{args.threshold:.0%}; {speedup_note}")
     if missing:
         print(f"warning: {len(missing)} baseline entr(y/ies) absent from the "
               f"current run — their regression gates did not run:",

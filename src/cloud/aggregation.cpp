@@ -31,7 +31,20 @@ void AggregationService::ArmSchedule() {
 
 void AggregationService::Deliver(const flow::Message& message,
                                  SimTime arrival) {
-  (void)arrival;
+  DeliverOne(message, arrival);
+}
+
+void AggregationService::DeliverBatch(std::span<const flow::Message> messages,
+                                      std::span<const SimTime> arrivals) {
+  // One virtual call per dispatch tick; messages accumulate in wire order
+  // with their own arrival stamps, exactly as the per-message path would.
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    DeliverOne(messages[i], arrivals[i]);
+  }
+}
+
+void AggregationService::DeliverOne(const flow::Message& message,
+                                    SimTime arrival) {
   if (stopped_) return;
   ++messages_received_;
 
@@ -69,11 +82,15 @@ void AggregationService::Deliver(const flow::Message& message,
 
   if (config_.trigger == AggregationTrigger::kSampleThreshold &&
       aggregator_.total_samples() >= config_.sample_threshold) {
-    AggregateNow();
+    // The triggering message's arrival is the round's timestamp. In the
+    // per-message path arrival == loop time here; in a batched tick the
+    // loop clock sits at the tick start, so the explicit stamp keeps both
+    // paths bit-identical.
+    AggregateAt(std::max(arrival, loop_.Now()));
   }
 }
 
-bool AggregationService::AggregateNow() {
+bool AggregationService::AggregateAt(SimTime when) {
   if (aggregator_.clients() == 0) return false;
   if (config_.max_rounds != 0 && history_.size() >= config_.max_rounds) {
     return false;
@@ -83,7 +100,7 @@ bool AggregationService::AggregateNow() {
 
   AggregationRecord record;
   record.round = history_.size() + 1;
-  record.time = loop_.Now();
+  record.time = when;
   record.clients = aggregator_.clients();
   record.samples = aggregator_.total_samples();
   record.model_blob = storage_.Put(model->ToBytes());

@@ -70,6 +70,13 @@ class AggregationService final : public flow::CloudEndpoint {
   /// DeviceFlow delivery: fetch blob, decode model, accumulate.
   void Deliver(const flow::Message& message, SimTime arrival) override;
 
+  /// Batched DeviceFlow delivery: one dispatch tick in a single call. Each
+  /// message is accumulated in order with its own arrival stamp, so
+  /// threshold-triggered aggregations record the same round time the
+  /// per-message path would (the triggering message's arrival).
+  void DeliverBatch(std::span<const flow::Message> messages,
+                    std::span<const SimTime> arrivals) override;
+
   const ml::LrModel& global_model() const { return global_model_; }
   void SetGlobalModel(ml::LrModel model) { global_model_ = std::move(model); }
 
@@ -88,10 +95,17 @@ class AggregationService final : public flow::CloudEndpoint {
   }
 
   /// Forces an aggregation now (used at experiment teardown).
-  bool AggregateNow();
+  bool AggregateNow() { return AggregateAt(loop_.Now()); }
 
  private:
   void ArmSchedule();
+  /// Shared delivery body; `arrival` is the message's wire arrival stamp
+  /// (== loop time in the per-message path, possibly ahead of loop time
+  /// inside a batched tick).
+  void DeliverOne(const flow::Message& message, SimTime arrival);
+  /// Aggregates with an explicit round timestamp (`when` is recorded as
+  /// AggregationRecord::time).
+  bool AggregateAt(SimTime when);
 
   sim::EventLoop& loop_;
   BlobStore& storage_;

@@ -36,8 +36,9 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
   agg.reject_stale = config_.reject_stale;
   service_ = std::make_unique<cloud::AggregationService>(loop_, storage_, agg);
 
-  const Status configured = flow_.ConfigureTask(
-      config_.task, config_.strategy, service_.get(), config_.seed);
+  const Status configured =
+      flow_.ConfigureTask(config_.task, config_.strategy, service_.get(),
+                          config_.seed, config_.delivery_mode);
   SIMDC_CHECK(configured.ok(), "FlEngine: DeviceFlow configuration failed");
 
   // Build the train-evaluation pool: a deterministic, capped sample of the
@@ -48,7 +49,10 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
       if (train_eval_pool_.size() < config_.eval_cap) {
         train_eval_pool_.push_back(example);
       } else {
-        // Reservoir: keep the pool an unbiased sample of all shards.
+        // Approximate reservoir: each later example replaces a uniform
+        // slot with fixed probability 1/8 (NOT the cap/seen schedule of a
+        // true reservoir, so late shards are somewhat over-represented);
+        // good enough for a smoothed train-metric pool, and deterministic.
         const auto j = static_cast<std::size_t>(pool_rng.UniformInt(
             0, static_cast<std::int64_t>(train_eval_pool_.size()) * 8));
         if (j < train_eval_pool_.size()) train_eval_pool_[j] = example;
@@ -85,13 +89,12 @@ FlRunResult FlEngine::Run() {
   return result_;
 }
 
-void FlEngine::StartRound(std::size_t round) {
+void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   if (ShouldStop()) {
     service_->Stop();
     return;
   }
   ++rounds_started_;
-  const SimTime t0 = loop_.Now();
   (void)flow_.OnRoundStart(config_.task, round);
 
   // Pick participants.
@@ -164,27 +167,33 @@ void FlEngine::StartRound(std::size_t round) {
   // can lag the engine's round index when a round closed empty.
   const std::size_t aggregation_round = service_->rounds_completed();
   SimDuration max_delay = 0;
+  std::vector<sim::TimedEvent> uploads;
+  uploads.reserve(participants.size());
   for (std::size_t slot = 0; slot < participants.size(); ++slot) {
     const Trained& trained = (*results)[slot];
     max_delay = std::max(max_delay, trained.delay);
     const MessageId message_id(next_message_id_++);
-    loop_.ScheduleAt(t0 + trained.delay, [this, results, slot,
-                                          round = aggregation_round,
-                                          message_id] {
-      Trained& trained = (*results)[slot];
-      flow::Message message;
-      message.id = message_id;
-      message.task = config_.task;
-      message.device = trained.device;
-      message.round = round;
-      message.payload_bytes = static_cast<std::int64_t>(trained.bytes.size());
-      message.payload = storage_.Put(std::move(trained.bytes));
-      message.sample_count = trained.samples;
-      message.created = loop_.Now();
-      ++result_.messages_emitted;
-      (void)flow_.OnMessage(std::move(message));
-    });
+    uploads.push_back({t0 + trained.delay, [this, results, slot,
+                                            round = aggregation_round,
+                                            message_id] {
+                         Trained& trained = (*results)[slot];
+                         flow::Message message;
+                         message.id = message_id;
+                         message.task = config_.task;
+                         message.device = trained.device;
+                         message.round = round;
+                         message.payload_bytes =
+                             static_cast<std::int64_t>(trained.bytes.size());
+                         message.payload = storage_.Put(std::move(trained.bytes));
+                         message.sample_count = trained.samples;
+                         message.created = loop_.Now();
+                         ++result_.messages_emitted;
+                         (void)flow_.OnMessage(std::move(message));
+                       }});
   }
+  // One heap rebuild for the whole round's uploads (O(N + H), same FIFO
+  // tie-breaks as scheduling them one by one).
+  (void)loop_.ScheduleBulk(std::move(uploads));
 
   // Device-side round completion → rule-based strategies fire.
   const SimTime round_end = t0 + max_delay;
@@ -239,7 +248,10 @@ void FlEngine::RecordRound(const cloud::AggregationRecord& record,
   last_recorded_round_ = rounds_started_;
 
   if (!ShouldStop()) {
-    StartRound(rounds_started_);
+    // Anchor at the aggregation's wire time: equal to Now() when rounds
+    // close inside per-message delivery events, and ahead of Now() when
+    // they close inside a batched tick.
+    StartRoundFrom(rounds_started_, std::max(loop_.Now(), record.time));
   } else {
     service_->Stop();
   }

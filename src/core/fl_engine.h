@@ -64,6 +64,15 @@ struct FlExperimentConfig {
   double logical_fraction = 1.0;
   /// DeviceFlow strategy for this task's traffic.
   flow::DispatchStrategy strategy = flow::RealtimeAccumulated{{1}, 0.0};
+  /// Event granularity of the device→cloud message plane: kBatched is
+  /// O(ticks), kPerMessage the O(messages) reference path kept for
+  /// equivalence testing. Results are bit-identical across modes except
+  /// when a kScheduled aggregation tick lands strictly inside a
+  /// multi-message tick's capacity window (see flow::DeliveryMode); with
+  /// single-message ticks (the default pass-through strategy) or
+  /// kSampleThreshold triggers the two modes never diverge. Within one
+  /// mode, results are always deterministic at every parallelism.
+  flow::DeliveryMode delivery_mode = flow::DeliveryMode::kBatched;
   cloud::AggregationTrigger trigger = cloud::AggregationTrigger::kScheduled;
   std::size_t sample_threshold = 1000;
   SimDuration schedule_period = Seconds(60.0);
@@ -109,7 +118,11 @@ class FlEngine {
   const cloud::BlobStore& storage() const { return storage_; }
 
  private:
-  void StartRound(std::size_t round);
+  void StartRound(std::size_t round) { StartRoundFrom(round, loop_.Now()); }
+  /// `t0` anchors the round's upload schedule. Threshold-triggered rounds
+  /// pass the aggregation record time, which equals loop time in the
+  /// per-message delivery path and keeps the batched path bit-identical.
+  void StartRoundFrom(std::size_t round, SimTime t0);
   void RecordRound(const cloud::AggregationRecord& record,
                    const ml::LrModel& model);
   bool ShouldStop() const;

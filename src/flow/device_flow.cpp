@@ -1,30 +1,51 @@
 #include "flow/device_flow.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/log.h"
 
 namespace simdc::flow {
 
 std::vector<Message> Shelf::Take(std::size_t count) {
-  std::vector<Message> taken;
   const std::size_t n = std::min(count, messages_.size());
+  // Bulk range move + single erase instead of n front-pops: the deque
+  // shrinks in one splice-like pass.
+  std::vector<Message> taken;
   taken.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    taken.push_back(std::move(messages_.front()));
-    messages_.pop_front();
-  }
+  const auto end = messages_.begin() + static_cast<std::ptrdiff_t>(n);
+  std::move(messages_.begin(), end, std::back_inserter(taken));
+  messages_.erase(messages_.begin(), end);
   return taken;
 }
 
 Dispatcher::Dispatcher(sim::EventLoop& loop, TaskId task,
                        DispatchStrategy strategy, CloudEndpoint* downstream,
-                       std::uint64_t seed)
+                       std::uint64_t seed, DeliveryMode delivery_mode)
     : loop_(loop),
       task_(task),
       strategy_(std::move(strategy)),
       downstream_(downstream),
-      rng_(Rng(seed).Split(task.value())) {}
+      rng_(Rng(seed).Split(task.value())),
+      delivery_mode_(delivery_mode) {}
+
+Dispatcher::~Dispatcher() {
+  // Pending OnRoundEnd lambdas capture `this`; cancel them so removing a
+  // task mid-interval cannot leave dangling callbacks on the loop.
+  for (const sim::EventHandle handle : strategy_events_) {
+    loop_.Cancel(handle);
+  }
+}
+
+void Dispatcher::TrackStrategyEvents(std::vector<sim::EventHandle> handles) {
+  // Prune fired handles first so the tracking vector stays proportional to
+  // the number of *pending* ticks, not ticks ever scheduled.
+  std::erase_if(strategy_events_, [this](sim::EventHandle handle) {
+    return !loop_.IsPending(handle);
+  });
+  strategy_events_.insert(strategy_events_.end(), handles.begin(),
+                          handles.end());
+}
 
 void Dispatcher::OnMessage(Message message) {
   ++stats_.received;
@@ -63,14 +84,18 @@ void Dispatcher::OnRoundEnd(std::size_t round) {
   (void)round;
   const SimTime now = loop_.Now();
   if (const auto* points = std::get_if<TimePointDispatch>(&strategy_)) {
-    // 2a: schedule each user-defined point.
+    // 2a: schedule each user-defined point (one bulk heap insert).
+    std::vector<sim::TimedEvent> events;
+    events.reserve(points->points.size());
     for (const auto& point : points->points) {
       const SimTime when = point.relative ? now + point.when : point.when;
       const TimePoint p = point;
-      loop_.ScheduleAt(when, [this, p] {
-        DispatchBatch(p.count, p.failure_probability, p.random_discard);
-      });
+      events.push_back({when, [this, p] {
+                          DispatchBatch(p.count, p.failure_probability,
+                                        p.random_discard);
+                        }});
     }
+    TrackStrategyEvents(loop_.ScheduleBulk(std::move(events)));
     return;
   }
   if (const auto* interval = std::get_if<TimeIntervalDispatch>(&strategy_)) {
@@ -93,15 +118,20 @@ void Dispatcher::OnRoundEnd(std::size_t round) {
                        interval->capacity_per_second, min_slots);
     const SimTime start =
         interval->relative ? now + interval->start : interval->start;
+    // Slot schedules are pre-sorted by offset; insert them with one heap
+    // rebuild instead of one O(log H) push per slot.
+    std::vector<sim::TimedEvent> events;
+    events.reserve(slots.size());
     for (const auto& slot : slots) {
       if (slot.count == 0) continue;
       const std::size_t count = slot.count;
       const double fail = interval->failure_probability;
       const std::size_t discard = interval->random_discard_per_slot;
-      loop_.ScheduleAt(start + slot.offset, [this, count, fail, discard] {
-        DispatchBatch(count, fail, discard);
-      });
+      events.push_back({start + slot.offset, [this, count, fail, discard] {
+                          DispatchBatch(count, fail, discard);
+                        }});
     }
+    TrackStrategyEvents(loop_.ScheduleBulk(std::move(events)));
     return;
   }
   // Realtime accumulated: flush whatever remains below the threshold so a
@@ -145,40 +175,85 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
   const SimDuration per_message =
       std::max<SimDuration>(1, static_cast<SimDuration>(1e6 / capacity));
 
+  // The batched and per-message paths share this loop verbatim: identical
+  // RNG draw order, identical next_send_time_ arithmetic, identical stats.
+  // They differ only in how the survivors reach the event loop below.
   std::size_t sent = 0;
+  std::vector<Message> survivors;
+  std::vector<SimTime> arrivals;
+  const bool batched =
+      delivery_mode_ == DeliveryMode::kBatched && downstream_ != nullptr;
   next_send_time_ = std::max(next_send_time_, now);
-  for (auto& message : batch) {
-    // Dropout method 1: per-message transmission failure.
-    if (failure_probability > 0.0 && rng_.Bernoulli(failure_probability)) {
-      ++stats_.dropped;
-      continue;
+  if (batched && failure_probability <= 0.0) {
+    // No transmission-failure draws: the whole batch survives, so adopt it
+    // wholesale instead of moving message-by-message (same zero RNG draws
+    // and the same arrival arithmetic as the general loop below).
+    sent = batch.size();
+    arrivals.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      arrivals.push_back(next_send_time_);
+      next_send_time_ += per_message;
     }
-    const SimTime arrival = next_send_time_;
-    next_send_time_ += per_message;
-    ++sent;
-    if (downstream_ != nullptr) {
-      Message delivered = std::move(message);
-      CloudEndpoint* sink = downstream_;
-      loop_.ScheduleAt(arrival, [sink, delivered = std::move(delivered),
-                                 arrival]() mutable {
-        sink->Deliver(delivered, arrival);
-      });
+    survivors = std::move(batch);
+  } else {
+    if (batched) {
+      survivors.reserve(batch.size());
+      arrivals.reserve(batch.size());
+    }
+    for (auto& message : batch) {
+      // Dropout method 1: per-message transmission failure.
+      if (failure_probability > 0.0 && rng_.Bernoulli(failure_probability)) {
+        ++stats_.dropped;
+        continue;
+      }
+      const SimTime arrival = next_send_time_;
+      next_send_time_ += per_message;
+      ++sent;
+      if (downstream_ == nullptr) continue;
+      if (batched) {
+        survivors.push_back(std::move(message));
+        arrivals.push_back(arrival);
+      } else {
+        Message delivered = std::move(message);
+        CloudEndpoint* sink = downstream_;
+        loop_.ScheduleAt(arrival, [sink, delivered = std::move(delivered),
+                                   arrival]() mutable {
+          sink->Deliver(delivered, arrival);
+        });
+      }
     }
   }
+  if (!survivors.empty()) {
+    // One event per dispatch tick: the whole capacity window reaches the
+    // sink in a single DeliverBatch call at the window's first arrival,
+    // carrying the exact per-message arrival stamps the per-message path
+    // would have delivered at. Round fan-in is O(ticks), not O(messages).
+    const SimTime first = arrivals.front();
+    CloudEndpoint* sink = downstream_;
+    loop_.ScheduleAt(first, [sink, survivors = std::move(survivors),
+                             arrivals = std::move(arrivals)] {
+      sink->DeliverBatch(std::span<const Message>(survivors),
+                         std::span<const SimTime>(arrivals));
+    });
+  }
   stats_.sent += sent;
-  stats_.batches.emplace_back(now, sent);
+  if (stats_.batches.size() < batch_log_cap_) {
+    stats_.batches.emplace_back(now, sent);
+  } else {
+    ++stats_.batches_truncated;
+  }
 }
 
 Status DeviceFlow::ConfigureTask(TaskId task, DispatchStrategy strategy,
-                                 CloudEndpoint* downstream,
-                                 std::uint64_t seed) {
+                                 CloudEndpoint* downstream, std::uint64_t seed,
+                                 DeliveryMode delivery_mode) {
   if (dispatchers_.contains(task)) {
     return AlreadyExists("DeviceFlow: task already configured: " +
                          task.ToString());
   }
   dispatchers_.emplace(task, std::make_unique<Dispatcher>(
                                  loop_, task, std::move(strategy), downstream,
-                                 seed));
+                                 seed, delivery_mode));
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,15 +34,51 @@ class CloudEndpoint {
  public:
   virtual ~CloudEndpoint() = default;
   virtual void Deliver(const Message& message, SimTime arrival) = 0;
+
+  /// Batched delivery: one dispatch tick's worth of messages with their
+  /// per-message arrival stamps (arrivals[i] belongs to messages[i]; both
+  /// spans have equal length and arrivals are non-decreasing). The default
+  /// loops over Deliver so sinks that only implement the per-message hook
+  /// keep working; endpoints on the 100k-device hot path override this to
+  /// consume a whole tick in one virtual call.
+  virtual void DeliverBatch(std::span<const Message> messages,
+                            std::span<const SimTime> arrivals) {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      Deliver(messages[i], arrivals[i]);
+    }
+  }
 };
+
+/// How a dispatcher hands a dispatch tick to the event loop:
+///   kBatched    — one MessageBatch event per tick carrying every survivor
+///                 with its arrival stamp (O(ticks) event fan-in);
+///   kPerMessage — one closure per message (the historical path, kept as
+///                 the reference for equivalence tests).
+/// Both paths draw the same RNG sequence and compute identical arrival
+/// stamps, drops and stats. The granularity caveat: a batched tick is
+/// delivered atomically at its *first* arrival, so a foreign event (e.g. a
+/// scheduled aggregation) whose timestamp falls strictly inside a tick's
+/// capacity window observes the whole tick in kBatched mode but only a
+/// prefix in kPerMessage mode. Ticks of one message (the pass-through
+/// default) have a zero-width window and never diverge; within one mode,
+/// runs are always deterministic and parallelism-invariant.
+enum class DeliveryMode { kBatched, kPerMessage };
+
+/// Default bound on DispatchStats::batches entries (see batch_log_cap).
+inline constexpr std::size_t kDefaultBatchLogCap = 1u << 20;
 
 /// Per-task dispatch accounting (drives Fig. 10 and Table II).
 struct DispatchStats {
   std::size_t received = 0;
   std::size_t sent = 0;
   std::size_t dropped = 0;
-  /// (dispatch time, messages dispatched) per executed batch/slot.
+  /// (dispatch time, messages dispatched) per executed batch/slot. Growth
+  /// is bounded by the dispatcher's batch_log_cap; ticks beyond the cap
+  /// are counted in batches_truncated instead of stored, so week-long
+  /// simulations do not grow memory without limit.
   std::vector<std::pair<SimTime, std::size_t>> batches;
+  /// Executed ticks not recorded in `batches` because the cap was reached.
+  std::size_t batches_truncated = 0;
 };
 
 /// FIFO buffer of pending messages for one task (Fig. 4's "Shelf").
@@ -63,7 +100,16 @@ class Shelf {
 class Dispatcher {
  public:
   Dispatcher(sim::EventLoop& loop, TaskId task, DispatchStrategy strategy,
-             CloudEndpoint* downstream, std::uint64_t seed);
+             CloudEndpoint* downstream, std::uint64_t seed,
+             DeliveryMode delivery_mode = DeliveryMode::kBatched);
+
+  /// Cancels every still-pending strategy event this dispatcher scheduled;
+  /// those closures capture `this`, so a dispatcher removed mid-interval
+  /// must take them down with it (see DeviceFlow::RemoveTask).
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
 
   /// Message ingress (already sorted to this task).
   void OnMessage(Message message);
@@ -77,12 +123,21 @@ class Dispatcher {
   const Shelf& shelf() const { return shelf_; }
   TaskId task() const { return task_; }
 
+  DeliveryMode delivery_mode() const { return delivery_mode_; }
+  void set_delivery_mode(DeliveryMode mode) { delivery_mode_ = mode; }
+
+  /// Bounds DispatchStats::batches (default kDefaultBatchLogCap).
+  void set_batch_log_cap(std::size_t cap) { batch_log_cap_ = cap; }
+
  private:
   /// Takes up to `count` from the shelf, applies dropout, rate-limits
   /// delivery to the downstream endpoint.
   void DispatchBatch(std::size_t count, double failure_probability,
                      std::size_t random_discard);
   void PumpRealtime();
+  /// Records handles of scheduled strategy events (for ~Dispatcher),
+  /// pruning ones that already fired so tracking stays bounded.
+  void TrackStrategyEvents(std::vector<sim::EventHandle> handles);
 
   sim::EventLoop& loop_;
   TaskId task_;
@@ -91,6 +146,11 @@ class Dispatcher {
   Rng rng_;
   Shelf shelf_;
   DispatchStats stats_;
+  DeliveryMode delivery_mode_;
+  std::size_t batch_log_cap_ = kDefaultBatchLogCap;
+  /// Pending OnRoundEnd time-point/slot events (their closures capture
+  /// `this`); cancelled on destruction.
+  std::vector<sim::EventHandle> strategy_events_;
   /// Threshold-cycle position for RealtimeAccumulated.
   std::size_t threshold_cursor_ = 0;
   /// Rate limiter: earliest time the next message may leave.
@@ -104,7 +164,8 @@ class DeviceFlow {
 
   /// Registers a task with its strategy and downstream service.
   Status ConfigureTask(TaskId task, DispatchStrategy strategy,
-                       CloudEndpoint* downstream, std::uint64_t seed = 0);
+                       CloudEndpoint* downstream, std::uint64_t seed = 0,
+                       DeliveryMode delivery_mode = DeliveryMode::kBatched);
   Status RemoveTask(TaskId task);
 
   /// Sorter entry point: routes by message.task (§V-A).

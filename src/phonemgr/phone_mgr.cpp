@@ -14,11 +14,43 @@ constexpr double kClosureSeconds = 15.0;  // Table I stage 5: 0.25 min
 
 }  // namespace
 
+std::size_t PhoneMgr::IndexOf(PhoneId id) const {
+  const auto it = index_.find(id.value());
+  return it == index_.end() ? npos : it->second;
+}
+
+void PhoneMgr::RebuildIndex() {
+  index_.clear();
+  for (auto& grade_sets : idle_) {
+    for (auto& locality_set : grade_sets) locality_set.clear();
+  }
+  for (auto& totals : total_) totals[0] = totals[1] = 0;
+  for (std::size_t i = 0; i < phones_.size(); ++i) {
+    const auto& spec = phones_[i].phone->spec();
+    index_.emplace(spec.id.value(), i);
+    const std::size_t g = GradeIndex(spec.grade);
+    const std::size_t l = LocalityIndex(spec);
+    ++total_[g][l];
+    if (!phones_[i].phone->busy()) idle_[g][l].insert(i);
+  }
+}
+
 PhoneId PhoneMgr::RegisterPhone(const PhoneSpec& spec) {
+  // First registration wins: a second phone with the same id would be
+  // unreachable through every id-keyed path (FindPhone, MarkBusy,
+  // ReleasePhone) and would desynchronize the idle free-lists, so it is
+  // not admitted at all.
+  if (index_.contains(spec.id.value())) return spec.id;
   Entry entry;
   entry.phone = std::make_unique<Phone>(spec, loop_.clock());
   entry.adb = std::make_unique<adb::AdbServer>(*entry.phone);
   phones_.push_back(std::move(entry));
+  const std::size_t index = phones_.size() - 1;
+  index_.emplace(spec.id.value(), index);
+  const std::size_t g = GradeIndex(spec.grade);
+  const std::size_t l = LocalityIndex(spec);
+  ++total_[g][l];
+  idle_[g][l].insert(index);
   return spec.id;
 }
 
@@ -27,66 +59,75 @@ void PhoneMgr::RegisterFleet(const std::vector<PhoneSpec>& fleet) {
 }
 
 Status PhoneMgr::UnregisterPhone(PhoneId id) {
-  for (auto it = phones_.begin(); it != phones_.end(); ++it) {
-    if (it->phone->spec().id != id) continue;
-    if (it->phone->busy()) {
-      return FailedPrecondition("cannot unregister busy phone " +
-                                id.ToString());
-    }
-    phones_.erase(it);
-    return Status::Ok();
+  const std::size_t index = IndexOf(id);
+  if (index == npos) return NotFound("unknown phone " + id.ToString());
+  if (phones_[index].phone->busy()) {
+    return FailedPrecondition("cannot unregister busy phone " +
+                              id.ToString());
   }
-  return NotFound("unknown phone " + id.ToString());
+  phones_.erase(phones_.begin() + static_cast<std::ptrdiff_t>(index));
+  // Scale-down is rare; an O(n) rebuild keeps every index structure exact
+  // after the vector shift.
+  RebuildIndex();
+  return Status::Ok();
 }
 
 std::size_t PhoneMgr::CountIdle(DeviceGrade grade) const {
-  std::size_t n = 0;
-  for (const auto& entry : phones_) {
-    if (entry.phone->spec().grade == grade && !entry.phone->busy()) ++n;
-  }
-  return n;
+  const std::size_t g = GradeIndex(grade);
+  return idle_[g][0].size() + idle_[g][1].size();
 }
 
 std::size_t PhoneMgr::CountTotal(DeviceGrade grade) const {
-  std::size_t n = 0;
-  for (const auto& entry : phones_) {
-    if (entry.phone->spec().grade == grade) ++n;
-  }
-  return n;
+  const std::size_t g = GradeIndex(grade);
+  return total_[g][0] + total_[g][1];
 }
 
 Phone* PhoneMgr::FindPhone(PhoneId id) {
-  for (auto& entry : phones_) {
-    if (entry.phone->spec().id == id) return entry.phone.get();
-  }
-  return nullptr;
+  const std::size_t index = IndexOf(id);
+  return index == npos ? nullptr : phones_[index].phone.get();
 }
 
 const Phone* PhoneMgr::FindPhone(PhoneId id) const {
-  for (const auto& entry : phones_) {
-    if (entry.phone->spec().id == id) return entry.phone.get();
-  }
-  return nullptr;
+  const std::size_t index = IndexOf(id);
+  return index == npos ? nullptr : phones_[index].phone.get();
 }
 
 adb::AdbServer* PhoneMgr::FindAdb(PhoneId id) {
-  for (auto& entry : phones_) {
-    if (entry.phone->spec().id == id) return entry.adb.get();
-  }
-  return nullptr;
+  const std::size_t index = IndexOf(id);
+  return index == npos ? nullptr : phones_[index].adb.get();
+}
+
+void PhoneMgr::MarkBusy(Entry& entry) {
+  entry.phone->set_busy(true);
+  const std::size_t index = IndexOf(entry.phone->spec().id);
+  if (index == npos) return;
+  const auto& spec = entry.phone->spec();
+  idle_[GradeIndex(spec.grade)][LocalityIndex(spec)].erase(index);
+}
+
+void PhoneMgr::ReleasePhone(PhoneId id) {
+  const std::size_t index = IndexOf(id);
+  if (index == npos) return;  // unregistered while its job wound down
+  Entry& entry = phones_[index];
+  entry.phone->set_busy(false);
+  entry.phone->set_benchmarking(false);
+  entry.owner = TaskId();
+  const auto& spec = entry.phone->spec();
+  idle_[GradeIndex(spec.grade)][LocalityIndex(spec)].insert(index);
 }
 
 std::vector<PhoneMgr::Entry*> PhoneMgr::SelectIdle(DeviceGrade grade,
                                                    std::size_t count) {
+  // The free-lists are ordered by registration index and split local/MSP,
+  // so walking them reproduces the historical "prefer local, registration
+  // order" linear scan at O(count log n) instead of O(n).
   std::vector<Entry*> selected;
-  // Prefer local phones; fall back to remote MSP devices.
-  for (const bool want_msp : {false, true}) {
-    for (auto& entry : phones_) {
+  selected.reserve(count);
+  const std::size_t g = GradeIndex(grade);
+  for (const auto& locality_set : idle_[g]) {
+    for (const std::size_t index : locality_set) {
       if (selected.size() == count) return selected;
-      if (entry.phone->busy()) continue;
-      const auto& spec = entry.phone->spec();
-      if (spec.grade != grade || spec.remote_msp != want_msp) continue;
-      selected.push_back(&entry);
+      selected.push_back(&phones_[index]);
     }
   }
   return selected;
@@ -130,12 +171,7 @@ Result<PhoneJobHandle> PhoneMgr::SubmitJob(const PhoneJob& job) {
   const TaskId task = job.task;
   auto on_complete = job.on_complete;
   loop_.ScheduleAt(handle.finish_time, [this, all_ids, task, on_complete] {
-    for (PhoneId id : all_ids) {
-      if (Phone* phone = FindPhone(id)) {
-        phone->set_busy(false);
-        phone->set_benchmarking(false);
-      }
-    }
+    for (PhoneId id : all_ids) ReleasePhone(id);
     if (on_complete) on_complete(task, loop_.Now());
   });
   return handle;
@@ -153,6 +189,10 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
       computing.empty() ? 0
                         : (job.devices_to_simulate + computing.size() - 1) /
                               computing.size();
+  // Round-completion hooks for the whole job are collected and inserted
+  // with one heap rebuild (phones × rounds of them at 10k-fleet scale).
+  std::vector<sim::TimedEvent> hooks;
+  hooks.reserve((computing.size() + benchmarking.size()) * job.rounds);
 
   auto install = [&](Entry& entry, std::size_t device_batches) {
     const SimTime train_window =
@@ -212,9 +252,9 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
         const PhoneId id = entry.phone->spec().id;
         auto hook = job.on_round_complete;
         const std::size_t completed = round;
-        loop_.ScheduleAt(window.train_end, [hook, id, completed, this] {
-          hook(id, completed, loop_.Now());
-        });
+        hooks.push_back({window.train_end, [hook, id, completed, this] {
+                           hook(id, completed, loop_.Now());
+                         }});
       }
       cursor = window.train_end + Seconds(job.aggregation_wait_s);
       attempts = 0;
@@ -230,7 +270,7 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
       end = plan.closure_end;
       entry.phone->ScheduleRun(std::move(plan));
     }
-    entry.phone->set_busy(true);
+    MarkBusy(entry);
     entry.owner = job.task;
     handle.finish_time = std::max(handle.finish_time, end);
   };
@@ -244,67 +284,85 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
     install(*entry, 1);
     handle.benchmarking.push_back(entry->phone->spec().id);
   }
+  (void)loop_.ScheduleBulk(std::move(hooks));
 }
 
 void PhoneMgr::ArmSampler(Entry& entry, const PhoneJob& job) {
   const RunPlan* plan = entry.phone->plan();
   if (plan == nullptr) return;
-  const std::string process = plan->process_name;
-  const TaskId task = job.task;
-  const PhoneId phone_id = entry.phone->spec().id;
+  // Sampling starts immediately (covering the pre-launch idle stage) and
+  // runs through APK closure. One self-rescheduling sampler event per
+  // phone keeps the heap at one live event per benchmarking phone instead
+  // of one closure per sample (a week of 15 s samples is ~40k closures).
+  const SimDuration period =
+      job.sample_period > 0 ? job.sample_period : Seconds(1.0);
+  const SimTime end = plan->closure_end;
   adb::AdbServer* shell = entry.adb.get();
   Phone* phone = entry.phone.get();
+  std::string process = plan->process_name;
+  const TaskId task = job.task;
+  const PhoneId phone_id = entry.phone->spec().id;
+  loop_.ScheduleAt(loop_.Now(),
+                   [this, shell, phone, process = std::move(process), task,
+                    phone_id, period, end] {
+                     RunSampler(shell, phone, process, task, phone_id, period,
+                                end);
+                   });
+}
 
-  // Sampling starts immediately (covering the pre-launch idle stage) and
-  // runs through APK closure.
-  for (SimTime t = loop_.Now(); t <= plan->closure_end;
-       t += job.sample_period) {
-    loop_.ScheduleAt(t, [this, shell, phone, process, task, phone_id] {
-      if (sink_ == nullptr) return;
-      // A real deployment issues these exact ADB commands (§IV-C) and
-      // post-processes the text; we do the same against the simulation.
-      PerfSample sample;
-      sample.phone = phone_id;
-      sample.task = task;
-      sample.time = loop_.Now();
-      sample.stage = phone->CurrentStage();
+void PhoneMgr::RunSampler(adb::AdbServer* shell, Phone* phone,
+                          std::string process, TaskId task, PhoneId phone_id,
+                          SimDuration period, SimTime end) {
+  if (sink_ != nullptr) {
+    // A real deployment issues these exact ADB commands (§IV-C) and
+    // post-processes the text; we do the same against the simulation.
+    PerfSample sample;
+    sample.phone = phone_id;
+    sample.task = task;
+    sample.time = loop_.Now();
+    sample.stage = phone->CurrentStage();
 
-      if (auto out = shell->Shell(
-              "cat /sys/class/power_supply/battery/current_now");
-          out.ok()) {
-        if (auto v = adb::ParseSysfsValue(*out); v.ok()) sample.current_ua = *v;
+    if (auto out = shell->Shell(
+            "cat /sys/class/power_supply/battery/current_now");
+        out.ok()) {
+      if (auto v = adb::ParseSysfsValue(*out); v.ok()) sample.current_ua = *v;
+    }
+    if (auto out = shell->Shell(
+            "cat /sys/class/power_supply/battery/voltage_now");
+        out.ok()) {
+      if (auto v = adb::ParseSysfsValue(*out); v.ok()) {
+        sample.voltage_mv = static_cast<double>(*v) / 1000.0;
       }
-      if (auto out = shell->Shell(
-              "cat /sys/class/power_supply/battery/voltage_now");
-          out.ok()) {
-        if (auto v = adb::ParseSysfsValue(*out); v.ok()) {
-          sample.voltage_mv = static_cast<double>(*v) / 1000.0;
-        }
-      }
-      if (auto pgrep = shell->Shell("pgrep -f " + process); pgrep.ok()) {
-        if (auto pid = adb::ParsePgrepPid(*pgrep); pid.ok()) {
-          if (auto top = shell->Shell(StrFormat("top -b -n 1 -p %d", *pid));
-              top.ok()) {
-            if (auto cpu = adb::ParseTopCpuPercent(*top, *pid); cpu.ok()) {
-              sample.cpu_percent = *cpu;
-            }
-          }
-          if (auto mem = shell->Shell("dumpsys meminfo " + process); mem.ok()) {
-            if (auto pss = adb::ParseDumpsysPssKb(*mem); pss.ok()) {
-              sample.memory_kb = *pss;
-            }
-          }
-          if (auto net = shell->Shell(StrFormat("cat /proc/%d/net/dev", *pid));
-              net.ok()) {
-            if (auto wlan = adb::ParseNetDevWlan(*net); wlan.ok()) {
-              sample.bandwidth_bytes = wlan->total();
-            }
+    }
+    if (auto pgrep = shell->Shell("pgrep -f " + process); pgrep.ok()) {
+      if (auto pid = adb::ParsePgrepPid(*pgrep); pid.ok()) {
+        if (auto top = shell->Shell(StrFormat("top -b -n 1 -p %d", *pid));
+            top.ok()) {
+          if (auto cpu = adb::ParseTopCpuPercent(*top, *pid); cpu.ok()) {
+            sample.cpu_percent = *cpu;
           }
         }
+        if (auto mem = shell->Shell("dumpsys meminfo " + process); mem.ok()) {
+          if (auto pss = adb::ParseDumpsysPssKb(*mem); pss.ok()) {
+            sample.memory_kb = *pss;
+          }
+        }
+        if (auto net = shell->Shell(StrFormat("cat /proc/%d/net/dev", *pid));
+            net.ok()) {
+          if (auto wlan = adb::ParseNetDevWlan(*net); wlan.ok()) {
+            sample.bandwidth_bytes = wlan->total();
+          }
+        }
       }
-      sink_->Record(sample);
-    });
+    }
+    sink_->Record(sample);
   }
+  const SimTime next = loop_.Now() + period;
+  if (next > end) return;
+  loop_.ScheduleAt(next, [this, shell, phone, process = std::move(process),
+                          task, phone_id, period, end] {
+    RunSampler(shell, phone, process, task, phone_id, period, end);
+  });
 }
 
 Status PhoneMgr::TerminateTask(TaskId task) {
@@ -312,9 +370,7 @@ Status PhoneMgr::TerminateTask(TaskId task) {
   for (auto& entry : phones_) {
     if (entry.owner == task && entry.phone->busy()) {
       entry.phone->ClearPlan();
-      entry.phone->set_busy(false);
-      entry.phone->set_benchmarking(false);
-      entry.owner = TaskId();
+      ReleasePhone(entry.phone->spec().id);
       found = true;
     }
   }

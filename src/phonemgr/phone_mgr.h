@@ -17,6 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "adb/adb_server.h"
@@ -130,15 +133,43 @@ class PhoneMgr {
     TaskId owner;  // invalid when idle
   };
 
+  /// Locality slot inside the per-grade idle free-lists: local phones are
+  /// preferred over remote MSP devices (same order as the historical scan).
+  static std::size_t LocalityIndex(const PhoneSpec& spec) {
+    return spec.remote_msp ? 1 : 0;
+  }
+
   /// Picks `count` idle phones of `grade`, preferring local over MSP.
   std::vector<Entry*> SelectIdle(DeviceGrade grade, std::size_t count);
   void InstallPlans(const PhoneJob& job, std::vector<Entry*>& computing,
                     std::vector<Entry*>& benchmarking,
                     PhoneJobHandle& handle);
   void ArmSampler(Entry& entry, const PhoneJob& job);
+  /// One self-rescheduling sampler tick: measures through the ADB pipeline,
+  /// then re-arms itself `period` later while `end` has not passed.
+  void RunSampler(adb::AdbServer* shell, Phone* phone, std::string process,
+                  TaskId task, PhoneId phone_id, SimDuration period,
+                  SimTime end);
+  /// Busy-flag transitions routed through the manager so the idle
+  /// free-lists stay in sync with Phone::busy().
+  void MarkBusy(Entry& entry);
+  void ReleasePhone(PhoneId id);
+  std::size_t IndexOf(PhoneId id) const;  // npos when unknown
+  /// Recomputes index_/idle_/total_ from phones_ (after an erase).
+  void RebuildIndex();
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   sim::EventLoop& loop_;
   std::vector<Entry> phones_;
+  /// PhoneId → phones_ index; makes FindPhone/FindAdb O(1) at 10k-phone
+  /// fleets. First registration wins for duplicate ids (historical scan
+  /// order semantics).
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  /// Idle free-lists per (grade, locality), ordered by registration index
+  /// so SelectIdle reproduces the historical linear-scan selection order.
+  std::set<std::size_t> idle_[kNumGrades][2];
+  std::size_t total_[kNumGrades][2] = {};
   MetricsSink* sink_ = nullptr;
   int next_pid_ = 4200;
 };

@@ -6,9 +6,29 @@ namespace simdc::sim {
 
 EventHandle EventLoop::ScheduleAt(SimTime t, std::function<void()> fn) {
   const EventHandle handle = next_handle_++;
-  queue_.push(Event{std::max(t, Now()), next_seq_++, handle, std::move(fn)});
+  heap_.push_back(Event{std::max(t, Now()), next_seq_++, handle, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_handles_.insert(handle);
   return handle;
+}
+
+std::vector<EventHandle> EventLoop::ScheduleBulk(std::vector<TimedEvent> events) {
+  std::vector<EventHandle> handles;
+  handles.reserve(events.size());
+  if (events.empty()) return handles;
+  heap_.reserve(heap_.size() + events.size());
+  for (TimedEvent& event : events) {
+    const EventHandle handle = next_handle_++;
+    heap_.push_back(Event{std::max(event.time, Now()), next_seq_++, handle,
+                          std::move(event.fn)});
+    pending_handles_.insert(handle);
+    handles.push_back(handle);
+  }
+  // One Floyd rebuild over the whole vector: O(H + N). Pop order depends
+  // only on the (time, seq) total order, so runs are bit-identical to the
+  // equivalent sequence of ScheduleAt calls.
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  return handles;
 }
 
 bool EventLoop::Cancel(EventHandle handle) {
@@ -21,11 +41,10 @@ bool EventLoop::Cancel(EventHandle handle) {
 }
 
 bool EventLoop::PopNext(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; move via const_cast is the
-    // standard workaround and safe because we pop immediately after.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
     if (cancelled_.erase(event.handle) > 0) continue;  // tombstoned
     out = std::move(event);
     return true;
@@ -49,13 +68,14 @@ std::size_t EventLoop::Run() {
 std::size_t EventLoop::RunUntil(SimTime t) {
   std::size_t executed = 0;
   for (;;) {
-    if (queue_.empty()) break;
+    if (heap_.empty()) break;
     // Peek through tombstones.
     Event event;
     if (!PopNext(event)) break;
     if (event.time > t) {
       // Put it back (re-push preserves ordering; seq already assigned).
-      queue_.push(std::move(event));
+      heap_.push_back(std::move(event));
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
       break;
     }
     clock_.AdvanceTo(event.time);

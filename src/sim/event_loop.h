@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +18,12 @@ namespace simdc::sim {
 
 /// Handle used to cancel a scheduled event.
 using EventHandle = std::uint64_t;
+
+/// One entry of a bulk insertion (see EventLoop::ScheduleBulk).
+struct TimedEvent {
+  SimTime time = 0;
+  std::function<void()> fn;
+};
 
 /// Single-threaded discrete-event loop over a virtual clock.
 ///
@@ -43,8 +48,20 @@ class EventLoop {
     return ScheduleAt(Now() + (delay > 0 ? delay : 0), std::move(fn));
   }
 
+  /// Inserts N events with one heap rebuild — O(N + H) instead of the
+  /// O(N log H) of N ScheduleAt calls (H = events already pending). Entry
+  /// order determines FIFO tie-breaking among equal timestamps, exactly as
+  /// if each entry had been passed to ScheduleAt in sequence; times in the
+  /// past are clamped to Now(). Returns one cancellable handle per entry.
+  std::vector<EventHandle> ScheduleBulk(std::vector<TimedEvent> events);
+
   /// Cancels a pending event. Returns false if already fired or unknown.
   bool Cancel(EventHandle handle);
+
+  /// True while `handle` is scheduled but neither fired nor cancelled.
+  bool IsPending(EventHandle handle) const {
+    return pending_handles_.contains(handle);
+  }
 
   /// Runs until no events remain. Returns number of events executed.
   std::size_t Run();
@@ -76,7 +93,10 @@ class EventLoop {
   bool PopNext(Event& out);
 
   ManualClock clock_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary min-heap on (time, seq) managed with std::push_heap/pop_heap —
+  /// an explicit vector (rather than std::priority_queue) so ScheduleBulk
+  /// can append N events and restore the invariant with one make_heap.
+  std::vector<Event> heap_;
   /// Handles scheduled but not yet fired or cancelled. Membership makes
   /// Cancel() exact (false for fired/unknown handles) and O(1), and doubles
   /// as the pending()/empty() bookkeeping.

@@ -164,6 +164,44 @@ TEST_F(AggregationTest, SampleThresholdTriggers) {
   EXPECT_EQ(service.pending_samples(), 0u);  // aggregator reset
 }
 
+TEST_F(AggregationTest, BatchedDeliveryMatchesPerMessage) {
+  // One DeliverBatch call crossing the sample threshold mid-batch must
+  // produce the same rounds as the equivalent Deliver sequence — and the
+  // round timestamp must be the *triggering message's* arrival, not the
+  // batch event's time.
+  auto run = [&](bool batched) {
+    BlobStore store;
+    AggregationConfig config;
+    config.model_dim = kDim;
+    config.trigger = AggregationTrigger::kSampleThreshold;
+    config.sample_threshold = 30;
+    AggregationService service(loop_, store, config);
+    std::vector<flow::Message> messages;
+    std::vector<SimTime> arrivals;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      messages.push_back(
+          Upload(store, static_cast<float>(i + 1), 10, i + 1));
+      arrivals.push_back(Seconds(1.0 + static_cast<double>(i)));
+    }
+    if (batched) {
+      service.DeliverBatch(messages, arrivals);
+    } else {
+      for (std::size_t i = 0; i < messages.size(); ++i) {
+        service.Deliver(messages[i], arrivals[i]);
+      }
+    }
+    return service.history();
+  };
+  const auto batched = run(true);
+  const auto per_message = run(false);
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_EQ(per_message.size(), 1u);
+  EXPECT_EQ(batched[0].time, Seconds(3.0));  // third message triggered
+  EXPECT_EQ(batched[0].time, per_message[0].time);
+  EXPECT_EQ(batched[0].clients, per_message[0].clients);
+  EXPECT_EQ(batched[0].samples, per_message[0].samples);
+}
+
 TEST_F(AggregationTest, ScheduledTriggerFiresPeriodically) {
   AggregationConfig config;
   config.model_dim = kDim;

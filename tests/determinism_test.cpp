@@ -95,6 +95,35 @@ TEST(DeterminismTest, DropoutAndPartialParticipationUnaffectedByWorkers) {
   }
 }
 
+TEST(DeterminismTest, BatchedDeliveryBitIdenticalToPerMessageAtAllWidths) {
+  // The message-plane rework (one MessageBatch event per dispatch tick
+  // instead of one closure per message) must not change a single bit of
+  // the run — at any parallelism. Exercise real multi-message batches
+  // (threshold 5) with dropout, plus a sample-threshold trigger so rounds
+  // close *inside* delivery ticks.
+  const auto dataset = Dataset();
+  auto config = BaseConfig();
+  config.strategy = flow::RealtimeAccumulated{{5}, 0.2};
+  config.trigger = cloud::AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 400;
+
+  auto run = [&](flow::DeliveryMode mode, std::size_t parallelism) {
+    auto c = config;
+    c.delivery_mode = mode;
+    return RunWith(dataset, c, parallelism);
+  };
+  const auto reference = run(flow::DeliveryMode::kPerMessage, 1);
+  ASSERT_EQ(reference.rounds.size(), 3u);
+  EXPECT_GT(reference.messages_dropped, 0u);
+  for (const std::size_t parallelism : {1u, 2u, 4u, 8u}) {
+    ExpectIdentical(reference, run(flow::DeliveryMode::kBatched, parallelism),
+                    parallelism);
+    ExpectIdentical(reference,
+                    run(flow::DeliveryMode::kPerMessage, parallelism),
+                    parallelism);
+  }
+}
+
 TEST(DeterminismTest, PlatformPoolMatchesPrivatePool) {
   // parallelism = 0 inherits the platform's shared pool; the result must
   // equal both the sequential run and a privately-pooled run.

@@ -442,6 +442,183 @@ TEST(IsolationTest, TasksDispatchIndependently) {
   EXPECT_EQ(slow_sink.deliveries.size(), 50u);
 }
 
+// ---------- Batched vs per-message delivery equivalence ----------
+
+/// Records batch boundaries in addition to every delivery (to check that
+/// the batched path really arrives via DeliverBatch, one call per tick).
+class BatchAwareEndpoint final : public CloudEndpoint {
+ public:
+  void Deliver(const Message& message, SimTime arrival) override {
+    deliveries.emplace_back(arrival, message.id);
+  }
+  void DeliverBatch(std::span<const Message> messages,
+                    std::span<const SimTime> arrivals) override {
+    batch_sizes.push_back(messages.size());
+    CloudEndpoint::DeliverBatch(messages, arrivals);  // default loop
+  }
+  std::vector<std::pair<SimTime, MessageId>> deliveries;
+  std::vector<std::size_t> batch_sizes;
+};
+
+struct DispatchOutcome {
+  std::vector<std::pair<SimTime, MessageId>> deliveries;
+  std::vector<std::size_t> batch_sizes;
+  std::size_t sent = 0;
+  std::size_t dropped = 0;
+  std::vector<std::pair<SimTime, std::size_t>> batches;
+};
+
+/// Runs one Fig. 10 scenario (round of `n` messages, then round end) in the
+/// given delivery mode and returns everything observable.
+DispatchOutcome RunScenario(const DispatchStrategy& strategy, std::size_t n,
+                            DeliveryMode mode, std::uint64_t seed) {
+  sim::EventLoop loop;
+  DeviceFlow flow(loop);
+  BatchAwareEndpoint sink;
+  EXPECT_TRUE(flow.ConfigureTask(TaskId(1), strategy, &sink, seed, mode).ok());
+  EXPECT_TRUE(flow.OnRoundStart(TaskId(1), 0).ok());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(flow.OnMessage(MakeMessage(TaskId(1), i)).ok());
+  }
+  EXPECT_TRUE(flow.OnRoundEnd(TaskId(1), 0).ok());
+  loop.Run();
+  DispatchOutcome out;
+  out.deliveries = sink.deliveries;
+  out.batch_sizes = sink.batch_sizes;
+  const auto& stats = flow.FindDispatcher(TaskId(1))->stats();
+  out.sent = stats.sent;
+  out.dropped = stats.dropped;
+  out.batches = stats.batches;
+  return out;
+}
+
+TEST(DeliveryEquivalenceTest, AllStrategiesBitIdenticalAcrossModes) {
+  // Fig. 10 scenarios: time-point, time-interval, realtime-accumulated —
+  // all with both dropout mechanisms in play so the RNG draw order is
+  // genuinely exercised.
+  TimePointDispatch points;
+  points.points = {{Seconds(5), true, 600, 0.1, 0},
+                   {Seconds(20), true, 1400, 0.0, 25},
+                   {Seconds(40), true, 1000, 0.05, 10}};
+  TimeIntervalDispatch interval;
+  interval.rate = NormalCurve(1.0);
+  interval.interval = Minutes(1.0);
+  interval.failure_probability = 0.2;
+  const RealtimeAccumulated realtime{{20, 100, 50}, 0.15};
+
+  const std::vector<std::pair<DispatchStrategy, std::size_t>> scenarios = {
+      {points, 3000}, {interval, 5000}, {realtime, 4000}};
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const auto& [strategy, n] = scenarios[s];
+    const auto batched = RunScenario(strategy, n, DeliveryMode::kBatched, 17);
+    const auto legacy = RunScenario(strategy, n, DeliveryMode::kPerMessage, 17);
+    // Bit-identical arrivals (time and message identity, in order).
+    EXPECT_EQ(batched.deliveries, legacy.deliveries) << "scenario " << s;
+    // Bit-identical drop decisions and tick stats.
+    EXPECT_EQ(batched.sent, legacy.sent) << "scenario " << s;
+    EXPECT_EQ(batched.dropped, legacy.dropped) << "scenario " << s;
+    EXPECT_EQ(batched.batches, legacy.batches) << "scenario " << s;
+    // And the batched path really fans in O(ticks): one DeliverBatch call
+    // per non-empty dispatch tick, none on the per-message path.
+    EXPECT_TRUE(legacy.batch_sizes.empty()) << "scenario " << s;
+    std::size_t nonempty_ticks = 0;
+    std::size_t in_batches = 0;
+    for (const auto& [when, count] : batched.batches) {
+      if (count > 0) ++nonempty_ticks;
+    }
+    for (const std::size_t size : batched.batch_sizes) in_batches += size;
+    EXPECT_EQ(batched.batch_sizes.size(), nonempty_ticks) << "scenario " << s;
+    EXPECT_EQ(in_batches, batched.sent) << "scenario " << s;
+  }
+}
+
+TEST(DeliveryEquivalenceTest, DefaultDeliverBatchLoopsOverDeliver) {
+  // An endpoint that only implements Deliver must see every message of a
+  // batched tick, in arrival order.
+  sim::EventLoop loop;
+  DeviceFlow flow(loop);
+  RecordingEndpoint sink;  // no DeliverBatch override
+  ASSERT_TRUE(flow.ConfigureTask(TaskId(1), RealtimeAccumulated{{50}, 0.0},
+                                 &sink, 0, DeliveryMode::kBatched).ok());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(flow.OnMessage(MakeMessage(TaskId(1), i)).ok());
+  }
+  loop.Run();
+  ASSERT_EQ(sink.deliveries.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sink.deliveries[i].second.id, MessageId(i));
+    if (i > 0) {
+      EXPECT_GE(sink.deliveries[i].first, sink.deliveries[i - 1].first);
+    }
+  }
+}
+
+// ---------- Dangling-callback regression (RemoveTask mid-interval) ----------
+
+TEST(RemoveTaskTest, MidIntervalRemovalCancelsPendingStrategyEvents) {
+  // OnRoundEnd schedules this-capturing lambdas; destroying the dispatcher
+  // before they fire must cancel them (previously: use-after-free).
+  sim::EventLoop loop;
+  DeviceFlow flow(loop);
+  RecordingEndpoint sink;
+  TimeIntervalDispatch strategy;
+  strategy.rate = NormalCurve(1.0);
+  strategy.interval = Minutes(1.0);
+  ASSERT_TRUE(flow.ConfigureTask(TaskId(1), strategy, &sink).ok());
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(flow.OnMessage(MakeMessage(TaskId(1), i)).ok());
+  }
+  ASSERT_TRUE(flow.OnRoundEnd(TaskId(1), 0).ok());
+  // Run partway into the interval, then remove the task with slot events
+  // still pending.
+  loop.RunUntil(Seconds(20.0));
+  const std::size_t delivered_before = sink.deliveries.size();
+  EXPECT_GT(delivered_before, 0u);
+  ASSERT_TRUE(flow.RemoveTask(TaskId(1)).ok());
+  loop.Run();  // must not touch the destroyed dispatcher (ASan-clean)
+  // In-flight deliveries handed to the loop before removal may still land;
+  // no *new* dispatch ticks may execute.
+  EXPECT_GE(sink.deliveries.size(), delivered_before);
+  EXPECT_LT(sink.deliveries.size(), 2000u);
+}
+
+TEST(RemoveTaskTest, TimePointRemovalBeforeAnyDispatch) {
+  sim::EventLoop loop;
+  DeviceFlow flow(loop);
+  RecordingEndpoint sink;
+  TimePointDispatch strategy;
+  strategy.points = {{Seconds(10), true, 5, 0.0, 0},
+                     {Seconds(20), true, 5, 0.0, 0}};
+  ASSERT_TRUE(flow.ConfigureTask(TaskId(1), strategy, &sink).ok());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(flow.OnMessage(MakeMessage(TaskId(1), i)).ok());
+  }
+  ASSERT_TRUE(flow.OnRoundEnd(TaskId(1), 0).ok());
+  ASSERT_TRUE(flow.RemoveTask(TaskId(1)).ok());
+  loop.Run();
+  EXPECT_TRUE(sink.deliveries.empty());
+}
+
+// ---------- Batch-log cap ----------
+
+TEST(DispatchStatsTest, BatchLogCapBoundsMemory) {
+  sim::EventLoop loop;
+  DeviceFlow flow(loop);
+  RecordingEndpoint sink;
+  ASSERT_TRUE(flow.ConfigureTask(TaskId(1), RealtimeAccumulated{{1}, 0.0},
+                                 &sink).ok());
+  auto* dispatcher = flow.FindDispatcher(TaskId(1));
+  dispatcher->set_batch_log_cap(10);
+  for (std::uint64_t i = 0; i < 37; ++i) {
+    ASSERT_TRUE(flow.OnMessage(MakeMessage(TaskId(1), i)).ok());
+  }
+  loop.Run();
+  EXPECT_EQ(sink.deliveries.size(), 37u);          // delivery unaffected
+  EXPECT_EQ(dispatcher->stats().sent, 37u);        // counters unaffected
+  EXPECT_EQ(dispatcher->stats().batches.size(), 10u);
+  EXPECT_EQ(dispatcher->stats().batches_truncated, 27u);
+}
+
 // ---------- Rate-function library ----------
 
 TEST(RateFunctionTest, LibraryShapes) {

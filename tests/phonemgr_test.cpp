@@ -187,5 +187,69 @@ TEST_F(PhoneMgrTest, FindPhoneAndAdb) {
   EXPECT_EQ(mgr_.FindAdb(PhoneId(555)), nullptr);
 }
 
+TEST_F(PhoneMgrTest, IndexSurvivesUnregisterAndReregister) {
+  // Unregistering shifts vector indices; the id→index map and idle
+  // free-lists must be rebuilt so every lookup stays exact.
+  const Phone* p5 = mgr_.FindPhone(PhoneId(5));
+  ASSERT_NE(p5, nullptr);
+  const DeviceGrade grade = p5->spec().grade;
+  const std::size_t idle_before = mgr_.CountIdle(grade);
+  const std::size_t total_before = mgr_.CountTotal(grade);
+  ASSERT_TRUE(mgr_.UnregisterPhone(PhoneId(5)).ok());
+  EXPECT_EQ(mgr_.FindPhone(PhoneId(5)), nullptr);
+  EXPECT_EQ(mgr_.FindAdb(PhoneId(5)), nullptr);
+  EXPECT_EQ(mgr_.CountIdle(grade), idle_before - 1);
+  EXPECT_EQ(mgr_.CountTotal(grade), total_before - 1);
+  // Every other phone is still reachable by id (local ids 0–9, MSP ids
+  // 1000–1019 per MakeDefaultCluster).
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    if (id == 5) continue;
+    EXPECT_NE(mgr_.FindPhone(PhoneId(id)), nullptr) << "id=" << id;
+  }
+  for (std::uint64_t id = 1000; id < 1020; ++id) {
+    EXPECT_NE(mgr_.FindPhone(PhoneId(id)), nullptr) << "id=" << id;
+  }
+  // Re-registering restores lookups and idle accounting.
+  PhoneSpec spec;
+  spec.id = PhoneId(5);
+  spec.grade = grade;
+  mgr_.RegisterPhone(spec);
+  EXPECT_NE(mgr_.FindPhone(PhoneId(5)), nullptr);
+  EXPECT_EQ(mgr_.CountIdle(grade), idle_before);
+}
+
+TEST_F(PhoneMgrTest, DuplicateIdRegistrationIsIgnored) {
+  // "First registration wins": a second phone under an existing id must
+  // not enter the fleet (it would be unreachable by id and would corrupt
+  // the idle free-lists).
+  const std::size_t total = mgr_.TotalPhones();
+  const Phone* original = mgr_.FindPhone(PhoneId(0));
+  ASSERT_NE(original, nullptr);
+  const std::size_t idle = mgr_.CountIdle(original->spec().grade);
+  PhoneSpec dup;
+  dup.id = PhoneId(0);
+  dup.grade = original->spec().grade;
+  dup.model = "DUP-1";
+  mgr_.RegisterPhone(dup);
+  EXPECT_EQ(mgr_.TotalPhones(), total);
+  EXPECT_EQ(mgr_.CountIdle(original->spec().grade), idle);
+  EXPECT_EQ(mgr_.FindPhone(PhoneId(0)), original);
+  EXPECT_NE(mgr_.FindPhone(PhoneId(0))->spec().model, "DUP-1");
+}
+
+TEST_F(PhoneMgrTest, FreedPhonesRejoinSelectionInRegistrationOrder) {
+  // A released phone must be preferred again over later-registered MSP
+  // devices: the idle free-lists keep registration order, matching the
+  // historical linear scan.
+  auto h1 = mgr_.SubmitJob(BasicJob(TaskId(20), DeviceGrade::kHigh));
+  ASSERT_TRUE(h1.ok());
+  loop_.Run();  // job completes, phones freed
+  auto h2 = mgr_.SubmitJob(BasicJob(TaskId(21), DeviceGrade::kHigh));
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1->computing, h2->computing);
+  EXPECT_EQ(h1->benchmarking, h2->benchmarking);
+  loop_.Run();
+}
+
 }  // namespace
 }  // namespace simdc::device

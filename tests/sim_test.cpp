@@ -180,6 +180,92 @@ TEST(EventLoopTest, ProcessedCountAccumulates) {
   EXPECT_EQ(loop.processed(), 7u);
 }
 
+TEST(ScheduleBulkTest, ExecutesInTimeOrderRegardlessOfInsertOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<TimedEvent> events;
+  for (int i : {3, 1, 4, 1, 5, 9, 2, 6}) {
+    events.push_back({Seconds(i), [&order, i] { order.push_back(i); }});
+  }
+  const auto handles = loop.ScheduleBulk(std::move(events));
+  EXPECT_EQ(handles.size(), 8u);
+  EXPECT_EQ(loop.pending(), 8u);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 2, 3, 4, 5, 6, 9}));
+}
+
+TEST(ScheduleBulkTest, MatchesSequentialScheduleAtExactly) {
+  // Bulk insertion must be observationally identical to N ScheduleAt calls:
+  // same execution order, including FIFO ties, interleaved with singly
+  // scheduled events.
+  auto run = [](bool bulk) {
+    EventLoop loop;
+    std::vector<int> order;
+    loop.ScheduleAt(Seconds(2.0), [&order] { order.push_back(-1); });
+    std::vector<TimedEvent> events;
+    for (int i = 0; i < 50; ++i) {
+      const SimTime t = Seconds((i * 7) % 10);  // many ties
+      auto fn = [&order, i] { order.push_back(i); };
+      if (bulk) {
+        events.push_back({t, std::move(fn)});
+      } else {
+        loop.ScheduleAt(t, std::move(fn));
+      }
+    }
+    if (bulk) loop.ScheduleBulk(std::move(events));
+    loop.ScheduleAt(Seconds(5.0), [&order] { order.push_back(-2); });
+    loop.Run();
+    return order;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(ScheduleBulkTest, HandlesAreCancellable) {
+  EventLoop loop;
+  int fired = 0;
+  std::vector<TimedEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back({Seconds(1.0 + i), [&fired] { ++fired; }});
+  }
+  const auto handles = loop.ScheduleBulk(std::move(events));
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    EXPECT_TRUE(loop.Cancel(handles[i]));
+  }
+  loop.Run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(ScheduleBulkTest, EmptyBulkIsNoop) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.ScheduleBulk({}).empty());
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(ScheduleBulkTest, PastTimesClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(Seconds(5.0), [] {});
+  loop.Run();
+  SimTime when = -1;
+  std::vector<TimedEvent> events;
+  events.push_back({Seconds(1.0), [&] { when = loop.Now(); }});
+  loop.ScheduleBulk(std::move(events));
+  loop.Run();
+  EXPECT_EQ(when, Seconds(5.0));
+}
+
+TEST(EventLoopTest, IsPendingTracksLifecycle) {
+  EventLoop loop;
+  const EventHandle a = loop.ScheduleAt(Seconds(1.0), [] {});
+  const EventHandle b = loop.ScheduleAt(Seconds(2.0), [] {});
+  EXPECT_TRUE(loop.IsPending(a));
+  EXPECT_TRUE(loop.IsPending(b));
+  EXPECT_TRUE(loop.Cancel(a));
+  EXPECT_FALSE(loop.IsPending(a));
+  loop.Run();
+  EXPECT_FALSE(loop.IsPending(b));  // fired
+  EXPECT_FALSE(loop.IsPending(9999));
+}
+
 TEST(PeriodicTimerTest, TicksAtPeriod) {
   EventLoop loop;
   std::vector<SimTime> ticks;
