@@ -79,8 +79,18 @@ int main() {
   fl.schedule_period = Seconds(30.0);
   // Train clients on 2 workers; any parallelism gives bit-identical results.
   fl.parallelism = 2;
+  // Split the device population into 2 fleet shards: each shard runs its
+  // own dispatcher/event loop (advanced on the worker pool) and a
+  // deterministic merger funnels their batches into the one aggregator —
+  // same bits as shards = 1, at any width. Width-invariance requires the
+  // rate limiter disengaged (see FlExperimentConfig::shards), so pass-
+  // through dispatch runs at infinite capacity here.
+  fl.strategy = flow::RealtimeAccumulated{
+      {1}, 0.0, flow::kShardWidthInvariantCapacity};
+  fl.shards = 2;
   const auto result = platform.RunFlExperiment(dataset, fl);
-  std::printf("\nfederated learning (%zu devices, %zu rounds):\n",
+  std::printf("\nfederated learning (%zu devices, %zu rounds, 2 fleet "
+              "shards):\n",
               dataset.devices.size(), result.rounds.size());
   for (const auto& round : result.rounds) {
     std::printf("  round %zu @ %5.1fs: test acc %.4f, logloss %.4f "

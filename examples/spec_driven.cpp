@@ -11,6 +11,7 @@
 #include "config/task_config.h"
 #include "core/platform.h"
 #include "core/status.h"
+#include "data/synth_avazu.h"
 
 namespace {
 
@@ -35,6 +36,7 @@ phones = 4
 
 [execution]
 parallelism = 2
+shards = 2
 )";
 
 constexpr const char* kSmokeSpec = R"(
@@ -85,14 +87,26 @@ int main(int argc, char** argv) {
   // Size the platform's training pool from the first spec that pins a
   // [execution] parallelism (0 keeps the hardware-concurrency default).
   core::PlatformConfig platform_config;
+  config::ExecutionConfig execution_knobs;
   for (const auto& doc : docs) {
     auto execution = config::LoadExecution(doc);
-    if (execution.ok() && execution->parallelism > 0) {
+    if (!execution.ok()) continue;
+    // Knobs are independent: the first spec pinning each one wins, so a
+    // shards-only spec cannot shadow a later spec's parallelism.
+    if (execution->parallelism > 0 && execution_knobs.parallelism == 0) {
+      execution_knobs.parallelism = execution->parallelism;
       platform_config.worker_threads = execution->parallelism;
-      std::printf("using parallelism = %zu from spec [execution]\n",
-                  execution->parallelism);
-      break;
     }
+    if (execution->shards > 0 && execution_knobs.shards == 0) {
+      execution_knobs.shards = execution->shards;
+    }
+  }
+  const bool have_knobs =
+      execution_knobs.parallelism > 0 || execution_knobs.shards > 0;
+  if (have_knobs) {
+    std::printf("using parallelism = %zu, shards = %zu from spec "
+                "[execution]\n",
+                execution_knobs.parallelism, execution_knobs.shards);
   }
   core::Platform platform(platform_config);
   for (const auto& doc : docs) {
@@ -125,5 +139,32 @@ int main(int argc, char** argv) {
                 report.allocation.device_seconds);
   }
   std::printf("\n%s\n", core::RenderStatus(platform).c_str());
+
+  // The [execution] knobs map straight onto the FL engine: parallelism
+  // sizes the training pool, shards the fleet topology. Both leave every
+  // bit of the result unchanged (FlExperimentConfig::shards).
+  if (have_knobs) {
+    data::SynthConfig data_config;
+    data_config.num_devices = 60;
+    data_config.hash_dim = 1u << 12;
+    const auto dataset = data::GenerateSyntheticAvazu(data_config);
+    core::FlExperimentConfig fl;
+    fl.rounds = 2;
+    fl.trigger = cloud::AggregationTrigger::kScheduled;
+    fl.schedule_period = Seconds(30.0);
+    fl.strategy = flow::RealtimeAccumulated{
+        {1}, 0.0, flow::kShardWidthInvariantCapacity};
+    fl.parallelism = execution_knobs.parallelism;
+    fl.shards = execution_knobs.shards;
+    const auto fl_result = platform.RunFlExperiment(dataset, fl);
+    std::printf("\nspec-driven FL (%zu devices, %zu fleet shards):\n",
+                dataset.devices.size(),
+                std::max<std::size_t>(1, execution_knobs.shards));
+    for (const auto& round : fl_result.rounds) {
+      std::printf("  round %zu @ %5.1fs: test acc %.4f, logloss %.4f\n",
+                  round.round, ToSeconds(round.time), round.test_accuracy,
+                  round.test_logloss);
+    }
+  }
   return 0;
 }

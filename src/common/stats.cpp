@@ -6,6 +6,19 @@
 
 namespace simdc {
 
+void RunningStats::AccumulateSum(double x) {
+  // Neumaier variant of Kahan summation: exact to within one rounding of
+  // the true sum regardless of magnitude ordering, so per-shard partials
+  // merged round after round do not drift.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    sum_c_ += (sum_ - t) + x;
+  } else {
+    sum_c_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
 void RunningStats::Add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -17,6 +30,7 @@ void RunningStats::Add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  AccumulateSum(x);
 }
 
 void RunningStats::Merge(const RunningStats& other) {
@@ -34,6 +48,8 @@ void RunningStats::Merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
+  AccumulateSum(other.sum_);
+  AccumulateSum(other.sum_c_);
 }
 
 double RunningStats::variance() const {
@@ -99,15 +115,40 @@ double StdDev(std::span<const double> values) {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  // Finite bounds only: an infinite edge makes the bin width infinite and
+  // (x - lo) / width NaN for every sample, which would reintroduce the
+  // undefined integer cast Add() exists to avoid.
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("Histogram: bounds must be finite");
+  }
   if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
 }
 
 void Histogram::Add(double x) {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // NaN cannot be binned: drop and tally. ±inf clamps to the edge bins.
+  // Finite samples clamp in the double domain BEFORE the integer cast —
+  // casting a value outside ptrdiff_t's range (any inf, or e.g. 1e300
+  // against a narrow [lo, hi)) is undefined behavior, not a clamp.
+  if (std::isnan(x)) {
+    ++nan_dropped_;
+    return;
+  }
+  const std::size_t last = counts_.size() - 1;
+  std::size_t idx;
+  if (std::isinf(x)) {
+    idx = x > 0.0 ? last : 0;
+  } else {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    const double pos = (x - lo_) / width;
+    if (pos <= 0.0) {
+      idx = 0;
+    } else if (pos >= static_cast<double>(last)) {
+      idx = last;
+    } else {
+      idx = static_cast<std::size_t>(pos);
+    }
+  }
+  ++counts_[idx];
   ++total_;
 }
 
@@ -126,12 +167,25 @@ std::string Histogram::ToAscii(std::size_t width) const {
   for (std::size_t c : counts_) peak = std::max(peak, c);
   std::string out;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    char line[64];
-    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %6zu ", bin_lo(i),
-                  bin_hi(i), counts_[i]);
-    out += line;
+    // Size the label exactly instead of truncating into a fixed buffer:
+    // wide bin edges (|edge| >= 1e5 at %.3f) and large counts overflowed
+    // the historical char[64].
+    const int needed = std::snprintf(nullptr, 0, "[%8.3f, %8.3f) %6zu ",
+                                     bin_lo(i), bin_hi(i), counts_[i]);
+    if (needed > 0) {
+      const auto offset = out.size();
+      out.resize(offset + static_cast<std::size_t>(needed));
+      std::snprintf(out.data() + offset, static_cast<std::size_t>(needed) + 1,
+                    "[%8.3f, %8.3f) %6zu ", bin_lo(i), bin_hi(i), counts_[i]);
+    }
+    // Scale the bar in double precision: counts_[i] * width overflows
+    // std::size_t once counts pass ~2^64 / width (reachable for week-long
+    // million-device traces).
     const std::size_t bar =
-        peak == 0 ? 0 : counts_[i] * width / peak;
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[i]) *
+                                             static_cast<double>(width) /
+                                             static_cast<double>(peak));
     out.append(bar, '#');
     out += '\n';
   }

@@ -27,14 +27,20 @@ class RunningStats {
   double stddev() const;
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
-  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+  /// Exact Neumaier-compensated running total. Never reconstructed from
+  /// mean * count, whose error compounds across chained Merge() calls.
+  double sum() const { return count_ ? sum_ + sum_c_ : 0.0; }
 
  private:
+  void AccumulateSum(double x);
+
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;
+  double sum_c_ = 0.0;  // Neumaier compensation term for sum_
 };
 
 /// Pearson correlation coefficient of two equal-length series.
@@ -47,7 +53,10 @@ double Percentile(std::span<const double> values, double p);
 double Mean(std::span<const double> values);
 double StdDev(std::span<const double> values);
 
-/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge
+/// bins. Non-finite samples are routed explicitly: ±infinity counts into
+/// the corresponding edge bin, NaN is dropped (and tallied in
+/// nan_dropped()) — never cast to an integer, which would be UB.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -56,6 +65,8 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// NaN samples seen by Add (excluded from total()/bins).
+  std::size_t nan_dropped() const { return nan_dropped_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
 
@@ -67,6 +78,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_dropped_ = 0;
 };
 
 }  // namespace simdc

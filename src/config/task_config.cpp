@@ -305,6 +305,14 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
   } else if (has_section && parallelism.error().code() != ErrorCode::kNotFound) {
     return parallelism.error();
   }
+  if (auto shards = GetInt(doc, "execution", "shards"); shards.ok()) {
+    if (*shards < 0) {
+      return InvalidArgument("[execution] shards must be >= 0");
+    }
+    config.shards = static_cast<std::size_t>(*shards);
+  } else if (has_section && shards.error().code() != ErrorCode::kNotFound) {
+    return shards.error();
+  }
   return config;
 }
 

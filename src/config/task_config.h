@@ -95,10 +95,15 @@ struct ExecutionConfig {
   /// (FlExperimentConfig::parallelism semantics; results are identical
   /// at every width).
   std::size_t parallelism = 0;
+  /// Fleet shards: 0 or 1 = single fleet, N > 1 = partition the device
+  /// population into N contiguous fleets with per-shard dispatchers
+  /// merged deterministically (FlExperimentConfig::shards semantics;
+  /// clamped to the device count by the engine).
+  std::size_t shards = 0;
 };
 
-/// Reads [execution] (parallelism = N). A missing section or key yields
-/// the defaults; malformed or negative values are rejected.
+/// Reads [execution] (parallelism = N, shards = N). A missing section or
+/// key yields the defaults; malformed or negative values are rejected.
 Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
 
 /// One-call convenience: parse text and build the TaskSpec.

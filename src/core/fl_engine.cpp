@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <future>
 #include <memory>
+#include <utility>
 
 #include "common/log.h"
+#include "sim/lockstep.h"
 
 namespace simdc::core {
 
@@ -36,10 +38,36 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
   agg.reject_stale = config_.reject_stale;
   service_ = std::make_unique<cloud::AggregationService>(loop_, storage_, agg);
 
-  const Status configured =
-      flow_.ConfigureTask(config_.task, config_.strategy, service_.get(),
-                          config_.seed, config_.delivery_mode);
-  SIMDC_CHECK(configured.ok(), "FlEngine: DeviceFlow configuration failed");
+  const std::size_t width = std::clamp<std::size_t>(
+      config_.shards == 0 ? 1 : config_.shards, 1, dataset.devices.size());
+  if (width > 1) {
+    // Sharded topology: contiguous device ranges, one event loop and one
+    // dispatcher per fleet, all funneling into the global service through
+    // the (tick time, message id, shard)-ordered merger.
+    shard_ranges_ = data::PartitionDevices(dataset.devices.size(), width);
+    merger_ = std::make_unique<flow::ShardMerger>(width, service_.get(),
+                                                  &loop_);
+    shards_.reserve(width);
+    for (std::size_t s = 0; s < width; ++s) {
+      FleetShard shard;
+      shard.loop = std::make_unique<sim::EventLoop>();
+      // Same seed for every shard: per-message draws (TransmissionDrop)
+      // then agree across widths on each message's fate.
+      shard.dispatcher = std::make_unique<flow::Dispatcher>(
+          *shard.loop, config_.task, config_.strategy, &merger_->channel(s),
+          config_.seed, config_.delivery_mode);
+      // Split the batch-log cap across fleets so total log memory keeps
+      // the single-fleet bound instead of scaling with shard count.
+      shard.dispatcher->set_batch_log_cap(
+          std::max<std::size_t>(1, flow::kDefaultBatchLogCap / width));
+      shards_.push_back(std::move(shard));
+    }
+  } else {
+    const Status configured =
+        flow_.ConfigureTask(config_.task, config_.strategy, service_.get(),
+                            config_.seed, config_.delivery_mode);
+    SIMDC_CHECK(configured.ok(), "FlEngine: DeviceFlow configuration failed");
+  }
 
   // Build the train-evaluation pool: a deterministic, capped sample of the
   // union of device shards (Fig. 9b reports train accuracy).
@@ -76,17 +104,87 @@ FlRunResult FlEngine::Run() {
       });
   service_->Start();
   StartRound(0);
-  loop_.Run();
+  if (!sharded()) {
+    loop_.Run();
+  } else {
+    // Lockstep: cloud events first at each tick, shard loops advanced in
+    // parallel to a bounded horizon, then the merge barrier. The feedback
+    // guard is the engine's floor on upload latency — every event a
+    // drained delivery can schedule (uploads, round-end flush, stall
+    // guard) sits at least compute_seconds after the triggering arrival.
+    std::vector<sim::EventLoop*> loops;
+    loops.reserve(shards_.size());
+    for (FleetShard& shard : shards_) loops.push_back(shard.loop.get());
+    sim::LockstepGroup group(loop_, std::move(loops), pool_);
+    sim::LockstepGroup::Hooks hooks;
+    hooks.next_pending = [this] { return merger_->NextTickTime(); };
+    hooks.drain = [this](SimTime horizon) { merger_->DrainUpTo(horizon); };
+    group.Run(hooks, std::max<SimDuration>(0, Seconds(config_.compute_seconds)));
+  }
 
   const ml::LrModel& model = service_->global_model();
   result_.model_dim = model.dim();
   result_.final_weights.assign(model.weights().begin(),
                                model.weights().end());
   result_.final_bias = model.bias();
-  if (const auto* dispatcher = flow_.FindDispatcher(config_.task)) {
+  // Plain counter sums — not dispatch_stats(), whose batch-log merge
+  // would copy every shard's tick log just to read one field.
+  if (sharded()) {
+    result_.messages_dropped = 0;
+    for (const FleetShard& shard : shards_) {
+      result_.messages_dropped += shard.dispatcher->stats().dropped;
+    }
+  } else if (const auto* dispatcher = flow_.FindDispatcher(config_.task)) {
     result_.messages_dropped = dispatcher->stats().dropped;
   }
   return result_;
+}
+
+flow::DispatchStats FlEngine::dispatch_stats() const {
+  if (!sharded()) {
+    const auto* dispatcher = flow_.FindDispatcher(config_.task);
+    return dispatcher != nullptr ? dispatcher->stats() : flow::DispatchStats{};
+  }
+  flow::DispatchStats merged;
+  std::vector<std::size_t> cursors(shards_.size(), 0);
+  std::size_t remaining = 0;
+  for (const FleetShard& shard : shards_) {
+    const auto& stats = shard.dispatcher->stats();
+    merged.received += stats.received;
+    merged.sent += stats.sent;
+    merged.dropped += stats.dropped;
+    merged.batches_truncated += stats.batches_truncated;
+    remaining += stats.batches.size();
+  }
+  merged.batches.reserve(remaining);
+  merged.batch_keys.reserve(remaining);
+  // Per-shard logs are time-sorted (appended in loop order); a strict-less
+  // k-way merge interleaves them in (tick time, first message id, shard)
+  // order — the same equal-timestamp key the ShardMerger uses, which is
+  // the order the single-fleet dispatcher would have logged.
+  while (remaining > 0) {
+    std::size_t best_shard = shards_.size();
+    SimTime best_time = 0;
+    std::uint64_t best_key = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& stats = shards_[s].dispatcher->stats();
+      if (cursors[s] >= stats.batches.size()) continue;
+      const SimTime t = stats.batches[cursors[s]].first;
+      const std::uint64_t key = stats.batch_keys[cursors[s]];
+      if (best_shard == shards_.size() || t < best_time ||
+          (t == best_time && key < best_key)) {
+        best_shard = s;
+        best_time = t;
+        best_key = key;
+      }
+    }
+    const auto& stats = shards_[best_shard].dispatcher->stats();
+    merged.batches.push_back(stats.batches[cursors[best_shard]]);
+    merged.batch_keys.push_back(stats.batch_keys[cursors[best_shard]]);
+    ++cursors[best_shard];
+    --remaining;
+  }
+  return merged;
 }
 
 void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
@@ -95,7 +193,28 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     return;
   }
   ++rounds_started_;
-  (void)flow_.OnRoundStart(config_.task, round);
+  if (sharded()) {
+    // Round-start runs as a shard-loop EVENT, not synchronously: called
+    // directly, the pump for leftover shelf messages (multi-message
+    // thresholds) would read a shard clock that can sit BEHIND t0 and
+    // stamp arrivals before the aggregation that opened the round.
+    // ScheduleAt clamps to the shard clock, so the pump fires at
+    // max(t0, shard clock): exactly t0 when the round opens from the
+    // cloud plane (scheduled triggers — shards have not reached t0 yet),
+    // and at most one feedback guard past t0 when it opens mid-drain
+    // (shards already advanced to the barrier horizon). Stamps are thus
+    // always >= t0; the residual lag is only observable outside the
+    // width-invariance regime (pass-through strategies keep the shelf
+    // empty, making the pump a no-op).
+    for (FleetShard& shard : shards_) {
+      flow::Dispatcher* dispatcher = shard.dispatcher.get();
+      shard.loop->ScheduleAt(t0, [dispatcher, round] {
+        dispatcher->OnRoundStart(round);
+      });
+    }
+  } else {
+    (void)flow_.OnRoundStart(config_.task, round);
+  }
 
   // Pick participants.
   std::vector<std::size_t> participants;
@@ -123,7 +242,10 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   const ml::LrModel& global = service_->global_model();
   const auto logical_cut = static_cast<std::size_t>(
       config_.logical_fraction * static_cast<double>(n) + 0.5);
-  auto results = std::make_shared<std::vector<Trained>>(participants.size());
+  // Results are consumed synchronously below (bytes move to storage at
+  // schedule time), so a plain local suffices — upload closures no longer
+  // keep the training buffers alive.
+  std::vector<Trained> results(participants.size());
 
   auto train_one = [&, this](std::size_t slot) {
     const std::size_t device_index = participants[slot];
@@ -140,7 +262,7 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
         SplitMix64(config_.seed ^ (device_index * 1000003ULL + round));
     op->Train(local, shard.examples, train);
 
-    Trained& out = (*results)[slot];
+    Trained& out = results[slot];
     out.bytes = local.ToBytes();
     out.samples = shard.examples.size();
     out.device = shard.device;
@@ -161,44 +283,75 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     }
   }
 
-  // Emit upload events: blob to storage + message into DeviceFlow at the
-  // device's response time. Messages carry the *aggregation* round they
-  // were trained against (what a staleness-filtering cloud checks), which
-  // can lag the engine's round index when a round closed empty.
+  // Emit upload events: blob to storage + message into the flow plane at
+  // the device's response time. Messages carry the *aggregation* round
+  // they were trained against (what a staleness-filtering cloud checks),
+  // which can lag the engine's round index when a round closed empty.
+  // Message ids, blob ids and emit accounting are all assigned here, in
+  // slot (device-index) order, so the fired closures touch only their own
+  // shard's state — the property that lets shard loops advance on pool
+  // threads without locks.
   const std::size_t aggregation_round = service_->rounds_completed();
   SimDuration max_delay = 0;
   std::vector<sim::TimedEvent> uploads;
   uploads.reserve(participants.size());
+  // Sharded: per-shard event lists; participants are sorted by device
+  // index and shards are contiguous ranges, so each shard's list keeps
+  // global slot order and the (time, shard, FIFO) merge reproduces the
+  // single-loop FIFO tie-breaks.
+  std::vector<std::vector<sim::TimedEvent>> shard_uploads(shards_.size());
   for (std::size_t slot = 0; slot < participants.size(); ++slot) {
-    const Trained& trained = (*results)[slot];
+    Trained& trained = results[slot];
     max_delay = std::max(max_delay, trained.delay);
-    const MessageId message_id(next_message_id_++);
-    uploads.push_back({t0 + trained.delay, [this, results, slot,
-                                            round = aggregation_round,
-                                            message_id] {
-                         Trained& trained = (*results)[slot];
-                         flow::Message message;
-                         message.id = message_id;
-                         message.task = config_.task;
-                         message.device = trained.device;
-                         message.round = round;
-                         message.payload_bytes =
-                             static_cast<std::int64_t>(trained.bytes.size());
-                         message.payload = storage_.Put(std::move(trained.bytes));
-                         message.sample_count = trained.samples;
-                         message.created = loop_.Now();
-                         ++result_.messages_emitted;
-                         (void)flow_.OnMessage(std::move(message));
-                       }});
+    const SimTime when = t0 + trained.delay;
+    flow::Message message;
+    message.id = MessageId(next_message_id_++);
+    message.task = config_.task;
+    message.device = trained.device;
+    message.round = aggregation_round;
+    message.payload_bytes = static_cast<std::int64_t>(trained.bytes.size());
+    message.payload = storage_.Put(std::move(trained.bytes));
+    message.sample_count = trained.samples;
+    message.created = when;  // == loop time when the upload event fires
+    ++result_.messages_emitted;
+    if (sharded()) {
+      const std::size_t s = data::ShardOf(
+          participants[slot], dataset_.devices.size(), shards_.size());
+      flow::Dispatcher* dispatcher = shards_[s].dispatcher.get();
+      shard_uploads[s].push_back(
+          {when, [dispatcher, message = std::move(message)]() mutable {
+             dispatcher->OnMessage(std::move(message));
+           }});
+    } else {
+      uploads.push_back(
+          {when, [this, message = std::move(message)]() mutable {
+             (void)flow_.OnMessage(std::move(message));
+           }});
+    }
   }
-  // One heap rebuild for the whole round's uploads (O(N + H), same FIFO
-  // tie-breaks as scheduling them one by one).
+  // One heap rebuild per loop for the round's uploads (O(N + H), same
+  // FIFO tie-breaks as scheduling them one by one).
   (void)loop_.ScheduleBulk(std::move(uploads));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    (void)shards_[s].loop->ScheduleBulk(std::move(shard_uploads[s]));
+  }
 
-  // Device-side round completion → rule-based strategies fire.
+  // Device-side round completion → rule-based strategies fire. The global
+  // round end (max delay over ALL shards) flushes every shard, exactly
+  // when the single-fleet dispatcher would flush.
   const SimTime round_end = t0 + max_delay;
-  loop_.ScheduleAt(round_end,
-                   [this, round] { (void)flow_.OnRoundEnd(config_.task, round); });
+  if (sharded()) {
+    for (FleetShard& shard : shards_) {
+      flow::Dispatcher* dispatcher = shard.dispatcher.get();
+      shard.loop->ScheduleAt(round_end, [dispatcher, round] {
+        dispatcher->OnRoundEnd(round);
+      });
+    }
+  } else {
+    loop_.ScheduleAt(round_end, [this, round] {
+      (void)flow_.OnRoundEnd(config_.task, round);
+    });
+  }
 
   // Stall guard: if the trigger never fires (heavy dropout under a sample
   // threshold), force-aggregate; with nothing pending, close an empty

@@ -23,7 +23,9 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "data/example.h"
+#include "data/sharding.h"
 #include "flow/device_flow.h"
+#include "flow/shard_merger.h"
 #include "ml/metrics.h"
 #include "ml/operators.h"
 #include "sim/event_loop.h"
@@ -101,6 +103,28 @@ struct FlExperimentConfig {
   /// from its own seed-derived RNG stream and updates are reduced in fixed
   /// client-index order on the event loop.
   std::size_t parallelism = 0;
+  /// Fleet shards (0 or 1 = the single-fleet path). N > 1 partitions the
+  /// dataset's devices into N contiguous index ranges; each shard owns its
+  /// own event loop and flow::Dispatcher producing per-tick MessageBatch
+  /// events, advanced in lockstep (sim::LockstepGroup) and funneled into
+  /// the one global AggregationService by a flow::ShardMerger in
+  /// (tick time, first message id, shard) order. Because shards are
+  /// contiguous ranges — so per-shard streams stay sorted by the global
+  /// (wave, device) message-id order — and transmission-failure draws are
+  /// message-keyed, FlRunResult,
+  /// arrival stamps, drop counts and merged dispatch stats are
+  /// bit-identical at every width — provided dispatch ticks carry one
+  /// message (pass-through thresholds) and the strategy's
+  /// capacity_per_second keeps the per-shard rate limiter disengaged
+  /// (flow::kShardWidthInvariantCapacity); multi-message ticks and biting
+  /// rate limits make per-shard state semantically per-fleet, which stays
+  /// deterministic at a fixed width but is not width-invariant. Shard
+  /// loops advance on the training pool when one is available, so the
+  /// flow plane parallelizes across fleets; the merge stays single-
+  /// threaded and fixed-order (the parameter-server reduction
+  /// discipline). Exact-microsecond cross-plane collisions resolve
+  /// cloud-plane-first, then shard order (see sim::LockstepGroup).
+  std::size_t shards = 1;
   std::uint64_t seed = 1;
   TaskId task = TaskId(1);
 };
@@ -114,10 +138,40 @@ class FlEngine {
   FlRunResult Run();
 
   const cloud::AggregationService& aggregation() const { return *service_; }
+  /// Single-fleet flow service; holds no tasks when the run is sharded.
   const flow::DeviceFlow& device_flow() const { return flow_; }
   const cloud::BlobStore& storage() const { return storage_; }
 
+  /// Resolved fleet width (config.shards clamped to the device count).
+  std::size_t shards() const { return sharded() ? shards_.size() : 1; }
+  /// Shard `s`'s device range under the resolved partition.
+  const data::ShardRange& shard_range(std::size_t s) const {
+    return shard_ranges_.at(s);
+  }
+  /// Task dispatch accounting, identical in shape for both topologies:
+  /// single-fleet runs return the one dispatcher's stats; sharded runs
+  /// return per-shard stats merged with summed counters and batch logs
+  /// interleaved in (tick time, first message id, shard) order — the same
+  /// order the unsharded dispatcher logs, so the result is width-invariant
+  /// whenever
+  /// the run itself is AND no per-shard log hit its cap (the batch-log
+  /// cap is split across fleets to keep total memory at the single-fleet
+  /// bound, so truncation points are per-fleet; batches_truncated > 0
+  /// flags a capped — and therefore width-sensitive — log).
+  flow::DispatchStats dispatch_stats() const;
+
  private:
+  /// One fleet shard: its own event loop carrying the shard's upload and
+  /// dispatch events, and its own dispatcher delivering into the merger's
+  /// channel. Loops are heap-allocated so Dispatcher's loop reference
+  /// stays stable as the vector grows.
+  struct FleetShard {
+    std::unique_ptr<sim::EventLoop> loop;
+    std::unique_ptr<flow::Dispatcher> dispatcher;
+  };
+
+  bool sharded() const { return !shards_.empty(); }
+
   void StartRound(std::size_t round) { StartRoundFrom(round, loop_.Now()); }
   /// `t0` anchors the round's upload schedule. Threshold-triggered rounds
   /// pass the aggregation record time, which equals loop time in the
@@ -137,6 +191,12 @@ class FlEngine {
   cloud::BlobStore storage_;
   flow::DeviceFlow flow_;
   std::unique_ptr<cloud::AggregationService> service_;
+  /// Sharded topology (empty on the single-fleet path). merger_ is
+  /// declared before shards_ so dispatchers — whose downstream_ points at
+  /// the merger's channels — are destroyed before the channels they feed.
+  std::vector<data::ShardRange> shard_ranges_;
+  std::unique_ptr<flow::ShardMerger> merger_;
+  std::vector<FleetShard> shards_;
   Rng rng_;
   FlRunResult result_;
   std::size_t rounds_started_ = 0;

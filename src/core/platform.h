@@ -88,7 +88,11 @@ class Platform {
   /// traffic shaping, cloud aggregation) on the platform's event loop.
   /// Local training uses the platform worker pool unless
   /// `config.parallelism` pins a different width; results are identical
-  /// either way (see FlExperimentConfig::parallelism).
+  /// either way (see FlExperimentConfig::parallelism). When
+  /// `config.shards` > 1 the device population splits into that many
+  /// fleet shards whose flow planes advance in lockstep on the same pool,
+  /// merged deterministically into the one aggregator — still
+  /// bit-identical to the single-fleet run (see FlExperimentConfig::shards).
   FlRunResult RunFlExperiment(const data::FederatedDataset& dataset,
                               FlExperimentConfig config);
 

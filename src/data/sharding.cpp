@@ -1,0 +1,46 @@
+#include "data/sharding.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace simdc::data {
+namespace {
+
+std::size_t ClampShards(std::size_t num_devices, std::size_t shards) {
+  if (num_devices == 0) return 0;
+  return std::clamp<std::size_t>(shards, 1, num_devices);
+}
+
+}  // namespace
+
+std::vector<ShardRange> PartitionDevices(std::size_t num_devices,
+                                         std::size_t shards) {
+  const std::size_t s = ClampShards(num_devices, shards);
+  std::vector<ShardRange> ranges;
+  ranges.reserve(s);
+  const std::size_t base = s == 0 ? 0 : num_devices / s;
+  const std::size_t extra = s == 0 ? 0 : num_devices % s;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    ranges.push_back({cursor, cursor + size});
+    cursor += size;
+  }
+  return ranges;
+}
+
+std::size_t ShardOf(std::size_t device_index, std::size_t num_devices,
+                    std::size_t shards) {
+  SIMDC_CHECK(device_index < num_devices, "ShardOf: device index out of range");
+  const std::size_t s = ClampShards(num_devices, shards);
+  const std::size_t base = num_devices / s;
+  const std::size_t extra = num_devices % s;
+  // The first `extra` shards hold (base + 1) devices each and cover the
+  // prefix [0, extra * (base + 1)).
+  const std::size_t wide_prefix = extra * (base + 1);
+  if (device_index < wide_prefix) return device_index / (base + 1);
+  return extra + (device_index - wide_prefix) / base;
+}
+
+}  // namespace simdc::data

@@ -1,6 +1,7 @@
 #include "flow/device_flow.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 
 #include "common/log.h"
@@ -27,6 +28,7 @@ Dispatcher::Dispatcher(sim::EventLoop& loop, TaskId task,
       strategy_(std::move(strategy)),
       downstream_(downstream),
       rng_(Rng(seed).Split(task.value())),
+      drop_seed_(Rng(seed).Split(task.value()).Split("transmission-drop")()),
       delivery_mode_(delivery_mode) {}
 
 Dispatcher::~Dispatcher() {
@@ -143,11 +145,25 @@ void Dispatcher::OnRoundEnd(std::size_t round) {
   }
 }
 
+bool Dispatcher::TransmissionDrop(const Message& message,
+                                  double failure_probability) {
+  if (failure_probability <= 0.0) return false;
+  // One uniform in [0, 1) per message, hashed from (drop key, message id)
+  // — two SplitMix64 rounds instead of a child-Rng construction, since
+  // this sits on the per-message reference path.
+  const std::uint64_t mix =
+      SplitMix64(drop_seed_ ^ SplitMix64(message.id.value()));
+  return static_cast<double>(mix >> 11) * 0x1.0p-53 < failure_probability;
+}
+
 void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
                                std::size_t random_discard) {
   auto batch = shelf_.Take(count);
   if (batch.empty()) return;
   const SimTime now = loop_.Now();
+  // Log key for this tick (see DispatchStats::batch_keys); captured
+  // before drops and moves below can disturb the batch.
+  const std::uint64_t batch_key = batch.front().id.value();
 
   // Dropout method 2: randomly discard a fixed number of messages.
   if (random_discard > 0 && !batch.empty()) {
@@ -171,9 +187,17 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
   double capacity = kDefaultCapacityPerSecond;
   if (const auto* interval = std::get_if<TimeIntervalDispatch>(&strategy_)) {
     capacity = interval->capacity_per_second;
+  } else if (const auto* realtime = std::get_if<RealtimeAccumulated>(&strategy_)) {
+    capacity = realtime->capacity_per_second;
   }
+  // Infinite capacity means zero serialization delay — every message of
+  // the tick carries the tick's own timestamp, independent of how many
+  // other messages this dispatcher has sent (the width-invariant regime).
+  // Finite capacities keep the historical >= 1 microsecond floor.
   const SimDuration per_message =
-      std::max<SimDuration>(1, static_cast<SimDuration>(1e6 / capacity));
+      std::isinf(capacity)
+          ? 0
+          : std::max<SimDuration>(1, static_cast<SimDuration>(1e6 / capacity));
 
   // The batched and per-message paths share this loop verbatim: identical
   // RNG draw order, identical next_send_time_ arithmetic, identical stats.
@@ -201,8 +225,9 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
       arrivals.reserve(batch.size());
     }
     for (auto& message : batch) {
-      // Dropout method 1: per-message transmission failure.
-      if (failure_probability > 0.0 && rng_.Bernoulli(failure_probability)) {
+      // Dropout method 1: per-message transmission failure (message-keyed
+      // draw — see TransmissionDrop).
+      if (TransmissionDrop(message, failure_probability)) {
         ++stats_.dropped;
         continue;
       }
@@ -239,6 +264,7 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
   stats_.sent += sent;
   if (stats_.batches.size() < batch_log_cap_) {
     stats_.batches.emplace_back(now, sent);
+    stats_.batch_keys.push_back(batch_key);
   } else {
     ++stats_.batches_truncated;
   }

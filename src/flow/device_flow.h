@@ -77,6 +77,11 @@ struct DispatchStats {
   /// are counted in batches_truncated instead of stored, so week-long
   /// simulations do not grow memory without limit.
   std::vector<std::pair<SimTime, std::size_t>> batches;
+  /// Parallel to `batches`: the first shelved message id of each logged
+  /// tick. Ids are assigned globally in wave- then device-order, so this
+  /// is the equal-timestamp merge key that lets per-shard logs interleave
+  /// back into the single-fleet logging order (FlEngine::dispatch_stats).
+  std::vector<std::uint64_t> batch_keys;
   /// Executed ticks not recorded in `batches` because the cap was reached.
   std::size_t batches_truncated = 0;
 };
@@ -134,6 +139,12 @@ class Dispatcher {
   /// delivery to the downstream endpoint.
   void DispatchBatch(std::size_t count, double failure_probability,
                      std::size_t random_discard);
+  /// Transmission-failure draw for one message. Keyed by (dispatcher
+  /// seed, message id) rather than a shared sequential stream, so the
+  /// decision for a given message is identical no matter how messages are
+  /// partitioned across dispatchers or grouped into ticks — the property
+  /// that keeps sharded fleets bit-identical at every width.
+  bool TransmissionDrop(const Message& message, double failure_probability);
   void PumpRealtime();
   /// Records handles of scheduled strategy events (for ~Dispatcher),
   /// pruning ones that already fired so tracking stays bounded.
@@ -144,6 +155,10 @@ class Dispatcher {
   DispatchStrategy strategy_;
   CloudEndpoint* downstream_;
   Rng rng_;
+  /// Key for per-message transmission-failure draws (see
+  /// TransmissionDrop); shared-seed dispatchers derive the same key, so
+  /// shard slices agree on every message's fate.
+  std::uint64_t drop_seed_;
   Shelf shelf_;
   DispatchStats stats_;
   DeliveryMode delivery_mode_;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <variant>
 #include <vector>
 
@@ -36,7 +37,23 @@ struct RealtimeAccumulated {
   std::vector<std::size_t> thresholds = {1};
   /// Per-message transmission failure probability p ∈ [0, 1].
   double failure_probability = 0.0;
+  /// Sender transmission capacity (messages/second) used by the
+  /// dispatcher's rate limiter. Sharded fleets give each shard its own
+  /// sender; a finite capacity therefore rate-limits per shard, which is
+  /// deterministic at any fixed width but not width-invariant. Configs
+  /// that assert cross-width bit-identity must disengage the limiter
+  /// entirely (kShardWidthInvariantCapacity).
+  double capacity_per_second = kDefaultCapacityPerSecond;
 };
+
+/// Infinite capacity: the dispatcher stamps every message of a tick with
+/// the tick's own time (zero serialization delay, no limiter state). Any
+/// finite capacity keeps the >= 1 microsecond per-message floor, which
+/// serializes same-microsecond uploads *per dispatcher* and therefore
+/// stamps them differently at different shard widths — so this is the
+/// only capacity under which the shard-width bit-identity contract holds.
+inline constexpr double kShardWidthInvariantCapacity =
+    std::numeric_limits<double>::infinity();
 
 /// One user-defined dispatch time point (2a).
 struct TimePoint {

@@ -40,6 +40,17 @@ bool EventLoop::Cancel(EventHandle handle) {
   return true;
 }
 
+SimTime EventLoop::NextEventTime() {
+  while (!heap_.empty()) {
+    if (!cancelled_.contains(heap_.front().handle)) return heap_.front().time;
+    // Consume the tombstone so the heap and cancelled-set stay bounded.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_.erase(heap_.back().handle);
+    heap_.pop_back();
+  }
+  return kNoEvent;
+}
+
 bool EventLoop::PopNext(Event& out) {
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <unordered_set>
 #include <vector>
 
@@ -62,6 +63,12 @@ class EventLoop {
   bool IsPending(EventHandle handle) const {
     return pending_handles_.contains(handle);
   }
+
+  /// Timestamp of the earliest pending (non-cancelled) event, or
+  /// `kNoEvent` when the loop is empty. Prunes cancelled heap tops as a
+  /// side effect, so repeated peeks stay O(1) amortized.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+  SimTime NextEventTime();
 
   /// Runs until no events remain. Returns number of events executed.
   std::size_t Run();

@@ -2,8 +2,10 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/error.h"
@@ -232,6 +234,58 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStatsTest, SumIsExactAcrossChainedMerges) {
+  // Regression: sum() used to be reconstructed as mean * count, whose
+  // rounding error compounds over chained Merge() calls — exactly the
+  // per-shard stats merge pattern the sharded engine performs every round.
+  // A tracked compensated sum stays within one rounding of the truth.
+  Rng rng(11);
+  RunningStats merged;
+  long double reference = 0.0L;
+  for (int round = 0; round < 200; ++round) {
+    RunningStats shard;
+    for (int i = 0; i < 50; ++i) {
+      // Mixed magnitudes make naive accumulation visibly lossy.
+      const double x = rng.Uniform() * (i % 7 == 0 ? 1e12 : 1e-3);
+      shard.Add(x);
+      reference += static_cast<long double>(x);
+    }
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), 200u * 50u);
+  const double expected = static_cast<double>(reference);
+  EXPECT_NEAR(merged.sum(), expected, std::abs(expected) * 1e-15);
+}
+
+TEST(RunningStatsTest, MergeIsAssociativeForSum) {
+  // Integer-valued samples are exactly representable, so both merge
+  // groupings must produce the same bits.
+  Rng rng(29);
+  std::vector<double> xs(300);
+  for (double& x : xs) x = static_cast<double>(rng.UniformInt(-1000, 1000));
+
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    RunningStats s;
+    for (std::size_t i = lo; i < hi; ++i) s.Add(xs[i]);
+    return s;
+  };
+  RunningStats a = fill(0, 100), b = fill(100, 200), c = fill(200, 300);
+
+  RunningStats left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  RunningStats bc = b;     // a + (b + c)
+  bc.Merge(c);
+  RunningStats right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  double direct = 0.0;
+  for (double x : xs) direct += x;
+  EXPECT_EQ(left.sum(), direct);
+}
+
 TEST(RunningStatsTest, MergeMatchesSequential) {
   RunningStats a, b, all;
   Rng rng(3);
@@ -294,6 +348,52 @@ TEST(HistogramTest, BinningAndClamping) {
 TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  // Infinite bounds would make every sample's bin position NaN.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram(-inf, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, inf, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, std::numeric_limits<double>::quiet_NaN(), 3),
+               std::invalid_argument);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreRoutedExplicitly) {
+  // Regression: Add() used to cast (x - lo) / width straight to
+  // ptrdiff_t, which is UB for NaN/±inf (and for finite values outside
+  // ptrdiff_t's range) — flagged by UBSan. NaN is dropped and tallied;
+  // infinities and huge finite values clamp to the edge bins.
+  Histogram h(0.0, 10.0, 5);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(1e300);
+  h.Add(-1e300);
+  h.Add(std::numeric_limits<double>::max());
+  EXPECT_EQ(h.nan_dropped(), 1u);
+  EXPECT_EQ(h.total(), 5u);  // NaN excluded, everything else binned
+  EXPECT_EQ(h.bin_count(0), 2u);  // -inf, -1e300
+  EXPECT_EQ(h.bin_count(4), 3u);  // +inf, 1e300, DBL_MAX
+}
+
+TEST(HistogramTest, ToAsciiHandlesWideLabelsAndLargeCounts) {
+  // Regression: the fixed char[64] line buffer silently truncated wide
+  // bin edges, and counts * width overflowed std::size_t.
+  Histogram h(-1.0e9, 1.0e9, 2);
+  for (int i = 0; i < 3; ++i) h.Add(-5.0e8);
+  h.Add(5.0e8);
+  const std::string art = h.ToAscii(40);
+  // Both full edge values survive un-truncated.
+  EXPECT_NE(art.find("-1000000000.000"), std::string::npos);
+  EXPECT_NE(art.find("1000000000.000"), std::string::npos);
+  // Peak bin renders the full bar; the 1/3-height bin renders 13 marks.
+  const auto first_line_end = art.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  EXPECT_EQ(std::count(art.begin(),
+                       art.begin() + static_cast<std::ptrdiff_t>(first_line_end),
+                       '#'),
+            40);
+  EXPECT_EQ(std::count(art.begin() + static_cast<std::ptrdiff_t>(first_line_end),
+                       art.end(), '#'),
+            13);
 }
 
 // ---------- Strings ----------

@@ -243,6 +243,33 @@ TEST(ExecutionConfigTest, ParsesParallelism) {
   auto config = LoadExecution(*doc);
   ASSERT_TRUE(config.ok());
   EXPECT_EQ(config->parallelism, 4u);
+  EXPECT_EQ(config->shards, 0u);  // single fleet unless asked
+}
+
+TEST(ExecutionConfigTest, ParsesShards) {
+  auto doc = ParseIni("[execution]\nparallelism = 2\nshards = 8\n");
+  ASSERT_TRUE(doc.ok());
+  auto config = LoadExecution(*doc);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->parallelism, 2u);
+  EXPECT_EQ(config->shards, 8u);
+
+  auto alone = ParseIni("[execution]\nshards = 4\n");
+  ASSERT_TRUE(alone.ok());
+  auto alone_config = LoadExecution(*alone);
+  ASSERT_TRUE(alone_config.ok());
+  EXPECT_EQ(alone_config->parallelism, 0u);
+  EXPECT_EQ(alone_config->shards, 4u);
+}
+
+TEST(ExecutionConfigTest, RejectsInvalidShards) {
+  auto check = [](const std::string& body) {
+    auto doc = ParseIni(body);
+    EXPECT_TRUE(doc.ok());
+    return !LoadExecution(*doc).ok();
+  };
+  EXPECT_TRUE(check("[execution]\nshards = -1\n"));
+  EXPECT_TRUE(check("[execution]\nshards = many\n"));
 }
 
 TEST(ExecutionConfigTest, MissingSectionOrKeyYieldsDefaults) {
@@ -257,6 +284,7 @@ TEST(ExecutionConfigTest, MissingSectionOrKeyYieldsDefaults) {
   auto bare_config = LoadExecution(*bare);
   ASSERT_TRUE(bare_config.ok());
   EXPECT_EQ(bare_config->parallelism, 0u);
+  EXPECT_EQ(bare_config->shards, 0u);
 }
 
 TEST(ExecutionConfigTest, RejectsInvalidParallelism) {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "data/schema.h"
+#include "data/sharding.h"
 #include "data/synth_avazu.h"
 
 namespace simdc::data {
@@ -200,6 +201,58 @@ TEST(RepartitionIidTest, ShardsBecomeHomogeneous) {
     if (std::abs(rate - global) < 0.15) ++near_global;
   }
   EXPECT_GT(near_global, 85u);  // >85% of shards close to global
+}
+
+// ---------- Shard partitioning ----------
+
+TEST(ShardingTest, PartitionCoversContiguouslyWithNearEqualSizes) {
+  for (const std::size_t n : {1u, 7u, 100u, 101u, 4096u}) {
+    for (const std::size_t s : {1u, 2u, 3u, 4u, 8u}) {
+      const auto ranges = PartitionDevices(n, s);
+      ASSERT_EQ(ranges.size(), std::min<std::size_t>(s, n));
+      std::size_t cursor = 0;
+      std::size_t lo = n, hi = 0;
+      for (const auto& range : ranges) {
+        EXPECT_EQ(range.begin, cursor) << "gap/overlap at n=" << n;
+        EXPECT_GT(range.size(), 0u);
+        cursor = range.end;
+        lo = std::min(lo, range.size());
+        hi = std::max(hi, range.size());
+      }
+      EXPECT_EQ(cursor, n);
+      EXPECT_LE(hi - lo, 1u) << "unbalanced at n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(ShardingTest, ShardOfMatchesRanges) {
+  for (const std::size_t n : {1u, 5u, 64u, 101u}) {
+    for (const std::size_t s : {1u, 2u, 4u, 8u, 200u}) {
+      const auto ranges = PartitionDevices(n, s);
+      for (std::size_t device = 0; device < n; ++device) {
+        const std::size_t shard = ShardOf(device, n, s);
+        ASSERT_LT(shard, ranges.size());
+        EXPECT_TRUE(ranges[shard].contains(device))
+            << "device " << device << " n=" << n << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ShardingTest, ClampsShardCountAndValidates) {
+  EXPECT_EQ(PartitionDevices(3, 0).size(), 1u);    // 0 → one fleet
+  EXPECT_EQ(PartitionDevices(3, 100).size(), 3u);  // never an empty shard
+  EXPECT_TRUE(PartitionDevices(0, 4).empty());
+  EXPECT_THROW(ShardOf(5, 5, 2), std::invalid_argument);
+}
+
+TEST(ShardingTest, DatasetOverloadUsesDeviceCount) {
+  auto config = SmallConfig();
+  config.num_devices = 10;
+  const auto dataset = GenerateSyntheticAvazu(config);
+  const auto ranges = PartitionDevices(dataset, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.back().end, dataset.devices.size());
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 
 #include <cmath>
 #include <numeric>
+#include <set>
+#include <span>
 
 #include "common/stats.h"
 #include "flow/device_flow.h"
 #include "flow/rate_functions.h"
+#include "flow/shard_merger.h"
 #include "flow/strategy.h"
 #include "sim/event_loop.h"
 
@@ -617,6 +620,102 @@ TEST(DispatchStatsTest, BatchLogCapBoundsMemory) {
   EXPECT_EQ(dispatcher->stats().sent, 37u);        // counters unaffected
   EXPECT_EQ(dispatcher->stats().batches.size(), 10u);
   EXPECT_EQ(dispatcher->stats().batches_truncated, 27u);
+}
+
+// ---------- Message-keyed transmission dropout ----------
+
+TEST(RealtimeTest, DropDecisionsInvariantToDispatcherPartition) {
+  // Transmission-failure draws are keyed by (seed, task, message id), so
+  // splitting one message stream across two same-seed dispatchers (the
+  // shard topology) drops exactly the same message set as one dispatcher
+  // seeing everything — the invariant behind shard-width determinism.
+  const RealtimeAccumulated strategy{{1}, 0.4};
+  const std::uint64_t seed = 21;
+  const std::size_t n = 2000;
+
+  auto delivered_ids = [&](std::span<const std::size_t> to_first) {
+    sim::EventLoop loop;
+    RecordingEndpoint sink_a, sink_b;
+    Dispatcher a(loop, TaskId(1), strategy, &sink_a, seed);
+    Dispatcher b(loop, TaskId(1), strategy, &sink_b, seed);
+    std::set<std::uint64_t> in_first(to_first.begin(), to_first.end());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      (in_first.contains(i) ? a : b).OnMessage(MakeMessage(TaskId(1), i));
+    }
+    loop.Run();
+    std::set<std::uint64_t> delivered;
+    for (const auto& [when, m] : sink_a.deliveries) delivered.insert(m.id.value());
+    for (const auto& [when, m] : sink_b.deliveries) delivered.insert(m.id.value());
+    return delivered;
+  };
+
+  std::vector<std::size_t> all(n), evens, none;
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t i = 0; i < n; i += 2) evens.push_back(i);
+
+  const auto baseline = delivered_ids(all);   // everything through dispatcher a
+  EXPECT_GT(baseline.size(), n / 2);          // ~60% survive
+  EXPECT_LT(baseline.size(), n);              // some drops happened
+  EXPECT_EQ(delivered_ids(evens), baseline);  // split half/half
+  EXPECT_EQ(delivered_ids(none), baseline);   // everything through b
+}
+
+// ---------- ShardMerger ----------
+
+TEST(ShardMergerTest, MergesTicksInTimeThenGlobalIdOrder) {
+  sim::EventLoop cloud;
+  BatchAwareEndpoint sink;
+  ShardMerger merger(3, &sink, &cloud);
+
+  // Shard 2 ticks first in time; shards 0 and 1 collide at t=5s where the
+  // lower first-message id must win (here that is also the lower shard —
+  // ids are device-ordered); per-shard FIFO must hold within shard 0.
+  const std::vector<Message> m = {
+      MakeMessage(TaskId(1), 0), MakeMessage(TaskId(1), 1),
+      MakeMessage(TaskId(1), 2), MakeMessage(TaskId(1), 3),
+      MakeMessage(TaskId(1), 4)};
+  const std::vector<SimTime> t2 = {Seconds(1.0)};
+  merger.channel(2).DeliverBatch(std::span(&m[4], 1), std::span(t2));
+  const std::vector<SimTime> t0a = {Seconds(5.0), Seconds(5.0)};
+  merger.channel(0).DeliverBatch(std::span(&m[0], 2), std::span(t0a));
+  const std::vector<SimTime> t1 = {Seconds(5.0)};
+  merger.channel(1).DeliverBatch(std::span(&m[3], 1), std::span(t1));
+  const std::vector<SimTime> t0b = {Seconds(6.0)};
+  merger.channel(0).DeliverBatch(std::span(&m[2], 1), std::span(t0b));
+
+  EXPECT_EQ(merger.NextTickTime(), Seconds(1.0));
+  // Partial drain respects the horizon.
+  EXPECT_EQ(merger.DrainUpTo(Seconds(2.0)), 1u);
+  EXPECT_EQ(cloud.Now(), Seconds(1.0));  // clock mirrored to tick time
+  EXPECT_EQ(merger.DrainUpTo(Seconds(100.0)), 3u);
+  EXPECT_TRUE(merger.channel(0).empty());
+
+  std::vector<std::uint64_t> order;
+  for (const auto& [when, id] : sink.deliveries) order.push_back(id.value());
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 0, 1, 3, 2}));
+  EXPECT_EQ(sink.batch_sizes, (std::vector<std::size_t>{1, 2, 1, 1}));
+  EXPECT_EQ(merger.ticks_merged(), 4u);
+  EXPECT_EQ(merger.messages_merged(), 5u);
+  EXPECT_EQ(merger.NextTickTime(), sim::EventLoop::kNoEvent);
+}
+
+TEST(ShardMergerTest, PerMessageDeliveriesBecomeSingleTicks) {
+  BatchAwareEndpoint sink;
+  ShardMerger merger(2, &sink, nullptr);
+  merger.channel(1).Deliver(MakeMessage(TaskId(1), 7), Seconds(2.0));
+  merger.channel(0).Deliver(MakeMessage(TaskId(1), 8), Seconds(2.0));
+  EXPECT_EQ(merger.DrainUpTo(Seconds(2.0)), 2u);
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  // Equal times resolve by message id (the global scheduling order), not
+  // by shard index — id 7 sits in the higher shard but goes first.
+  EXPECT_EQ(sink.deliveries[0].second, MessageId(7));
+  EXPECT_EQ(sink.deliveries[1].second, MessageId(8));
+}
+
+TEST(ShardMergerTest, RejectsBadConstruction) {
+  BatchAwareEndpoint sink;
+  EXPECT_THROW(ShardMerger(0, &sink), std::invalid_argument);
+  EXPECT_THROW(ShardMerger(2, nullptr), std::invalid_argument);
 }
 
 // ---------- Rate-function library ----------

@@ -237,6 +237,86 @@ TEST_F(PhoneMgrTest, DuplicateIdRegistrationIsIgnored) {
   EXPECT_NE(mgr_.FindPhone(PhoneId(0))->spec().model, "DUP-1");
 }
 
+TEST_F(PhoneMgrTest, UnregisterPreservesSelectionOrderAfterRebuild) {
+  // Scale-down rebuilds the per-(grade, locality) idle free-lists; the
+  // survivors must keep registration order so SelectIdle stays
+  // deterministic. Default cluster: local high = ids 0–3, MSP high =
+  // 1000–1012. Removing local 1 leaves selection order 0,2,3,1000,1001.
+  ASSERT_TRUE(mgr_.UnregisterPhone(PhoneId(1)).ok());
+  auto handle = mgr_.SubmitJob(BasicJob(TaskId(30), DeviceGrade::kHigh));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->benchmarking,
+            (std::vector<PhoneId>{PhoneId(0), PhoneId(2)}));
+  EXPECT_EQ(handle->computing,
+            (std::vector<PhoneId>{PhoneId(3), PhoneId(1000), PhoneId(1001)}));
+  loop_.Run();
+}
+
+TEST_F(PhoneMgrTest, UnregisterMidExperimentKeepsSelectIdleDeterministic) {
+  // Scale-down while a job is running: busy phones are protected, idle
+  // ones may leave, and both the shifted indices and the post-release
+  // free-lists must still reproduce registration order.
+  auto first = mgr_.SubmitJob(BasicJob(TaskId(40), DeviceGrade::kHigh));
+  ASSERT_TRUE(first.ok());  // occupies 0,1 (bench) + 2,3,1000 (compute)
+  const auto busy = first->computing.front();
+  EXPECT_FALSE(mgr_.UnregisterPhone(busy).ok());
+  EXPECT_NE(mgr_.FindPhone(busy), nullptr);  // refused, still present
+
+  ASSERT_TRUE(mgr_.UnregisterPhone(PhoneId(1001)).ok());
+  EXPECT_EQ(mgr_.CountTotal(DeviceGrade::kHigh), 16u);
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 11u);
+
+  auto second = mgr_.SubmitJob(BasicJob(TaskId(41), DeviceGrade::kHigh));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->benchmarking,
+            (std::vector<PhoneId>{PhoneId(1002), PhoneId(1003)}));
+  EXPECT_EQ(second->computing,
+            (std::vector<PhoneId>{PhoneId(1004), PhoneId(1005), PhoneId(1006)}));
+
+  loop_.Run();  // both jobs finish; phones release back into the lists
+  EXPECT_EQ(mgr_.CountIdle(DeviceGrade::kHigh), 16u);
+  auto third = mgr_.SubmitJob(BasicJob(TaskId(42), DeviceGrade::kHigh));
+  ASSERT_TRUE(third.ok());
+  // Released phones rejoin at their registration positions, so the third
+  // job selects exactly the first job's phones again.
+  EXPECT_EQ(third->benchmarking, first->benchmarking);
+  EXPECT_EQ(third->computing, first->computing);
+  loop_.Run();
+}
+
+TEST_F(PhoneMgrTest, MixedRegisterUnregisterReleaseSequence) {
+  // Interleaved scale-down, scale-up and release. A phone registered
+  // after the fleet is still LOCAL, so it outranks every MSP device in
+  // SelectIdle despite registering last — locality first, then
+  // registration order.
+  ASSERT_TRUE(mgr_.UnregisterPhone(PhoneId(2)).ok());
+  PhoneSpec extra;
+  extra.id = PhoneId(77);
+  extra.grade = DeviceGrade::kHigh;
+  mgr_.RegisterPhone(extra);
+  EXPECT_NE(mgr_.FindAdb(PhoneId(77)), nullptr);
+  EXPECT_EQ(mgr_.CountTotal(DeviceGrade::kHigh), 17u);
+
+  auto job = mgr_.SubmitJob(BasicJob(TaskId(50), DeviceGrade::kHigh));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->benchmarking,
+            (std::vector<PhoneId>{PhoneId(0), PhoneId(1)}));
+  EXPECT_EQ(job->computing,
+            (std::vector<PhoneId>{PhoneId(3), PhoneId(77), PhoneId(1000)}));
+
+  loop_.Run();  // release everything
+  ASSERT_TRUE(mgr_.UnregisterPhone(PhoneId(77)).ok());
+  EXPECT_EQ(mgr_.FindPhone(PhoneId(77)), nullptr);
+
+  auto after = mgr_.SubmitJob(BasicJob(TaskId(51), DeviceGrade::kHigh));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->benchmarking,
+            (std::vector<PhoneId>{PhoneId(0), PhoneId(1)}));
+  EXPECT_EQ(after->computing,
+            (std::vector<PhoneId>{PhoneId(3), PhoneId(1000), PhoneId(1001)}));
+  loop_.Run();
+}
+
 TEST_F(PhoneMgrTest, FreedPhonesRejoinSelectionInRegistrationOrder) {
   // A released phone must be preferred again over later-registered MSP
   // devices: the idle free-lists keep registration order, matching the

@@ -1,9 +1,15 @@
 // Unit tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sim/event_loop.h"
+#include "sim/lockstep.h"
 
 namespace simdc::sim {
 namespace {
@@ -313,6 +319,198 @@ TEST(PeriodicTimerTest, UnboundedRunsUntilStopped) {
   EXPECT_EQ(ticks, 100);
   timer.Stop();
   loop.Run();
+}
+
+// ---------- NextEventTime ----------
+
+TEST(EventLoopTest, NextEventTimeSkipsCancelled) {
+  EventLoop loop;
+  const auto early = loop.ScheduleAt(Seconds(1.0), [] {});
+  loop.ScheduleAt(Seconds(2.0), [] {});
+  EXPECT_EQ(loop.NextEventTime(), Seconds(1.0));
+  ASSERT_TRUE(loop.Cancel(early));
+  EXPECT_EQ(loop.NextEventTime(), Seconds(2.0));
+  loop.Run();
+  EXPECT_EQ(loop.NextEventTime(), EventLoop::kNoEvent);
+}
+
+TEST(EventLoopTest, NextEventTimePruningKeepsCancelExact) {
+  EventLoop loop;
+  const auto a = loop.ScheduleAt(Seconds(1.0), [] {});
+  loop.ScheduleAt(Seconds(5.0), [] {});
+  ASSERT_TRUE(loop.Cancel(a));
+  EXPECT_EQ(loop.NextEventTime(), Seconds(5.0));  // prunes a's tombstone
+  EXPECT_FALSE(loop.Cancel(a));                   // still reports cancelled
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_EQ(loop.Run(), 1u);
+}
+
+// ---------- LockstepGroup ----------
+
+namespace {
+
+/// Captures (time, shard, tag) per executed event plus a per-shard buffer
+/// the drain hook merges in (time, shard) order — the same discipline the
+/// flow::ShardMerger applies to message batches.
+struct LockstepHarness {
+  EventLoop cloud;
+  std::vector<std::unique_ptr<EventLoop>> shards;
+  std::vector<std::vector<std::pair<SimTime, int>>> buffered;
+  std::vector<std::pair<SimTime, std::string>> merged;
+
+  explicit LockstepHarness(std::size_t n) : buffered(n) {
+    for (std::size_t s = 0; s < n; ++s) {
+      shards.push_back(std::make_unique<EventLoop>());
+    }
+  }
+
+  std::vector<EventLoop*> ShardPtrs() {
+    std::vector<EventLoop*> out;
+    for (auto& shard : shards) out.push_back(shard.get());
+    return out;
+  }
+
+  SimTime NextPending() const {
+    SimTime t = EventLoop::kNoEvent;
+    for (const auto& queue : buffered) {
+      if (!queue.empty()) t = std::min(t, queue.front().first);
+    }
+    return t;
+  }
+
+  void Drain(SimTime horizon) {
+    for (;;) {
+      SimTime best = EventLoop::kNoEvent;
+      std::size_t shard = 0;
+      for (std::size_t s = 0; s < buffered.size(); ++s) {
+        if (!buffered[s].empty() && buffered[s].front().first < best) {
+          best = buffered[s].front().first;
+          shard = s;
+        }
+      }
+      if (best == EventLoop::kNoEvent || best > horizon) return;
+      merged.emplace_back(best, "shard" + std::to_string(shard) + ":" +
+                                    std::to_string(buffered[shard].front().second));
+      buffered[shard].erase(buffered[shard].begin());
+    }
+  }
+
+  LockstepGroup::Hooks Hooks() {
+    return {.next_pending = [this] { return NextPending(); },
+            .drain = [this](SimTime h) { Drain(h); }};
+  }
+};
+
+}  // namespace
+
+TEST(LockstepGroupTest, MergesShardProductsInTimeThenShardOrder) {
+  LockstepHarness h(3);
+  // Shard events at interleaved times, one colliding timestamp across all
+  // three shards: the merge must order the collision by shard index.
+  for (int s = 0; s < 3; ++s) {
+    h.shards[static_cast<std::size_t>(s)]->ScheduleAt(
+        Seconds(5.0), [&h, s] {
+          h.buffered[static_cast<std::size_t>(s)].emplace_back(Seconds(5.0), s);
+        });
+    h.shards[static_cast<std::size_t>(s)]->ScheduleAt(
+        Seconds(1.0 + s), [&h, s] {
+          h.buffered[static_cast<std::size_t>(s)].emplace_back(
+              Seconds(1.0 + s), 10 + s);
+        });
+  }
+  LockstepGroup group(h.cloud, h.ShardPtrs());
+  group.Run(h.Hooks(), /*feedback_guard=*/Seconds(100.0));
+  std::vector<std::string> got;
+  for (const auto& [time, tag] : h.merged) got.push_back(tag);
+  EXPECT_EQ(got, (std::vector<std::string>{"shard0:10", "shard1:11",
+                                           "shard2:12", "shard0:0", "shard1:1",
+                                           "shard2:2"}));
+}
+
+TEST(LockstepGroupTest, CloudEventsRunBeforeShardWindow) {
+  // A cloud event between two shard events must observe exactly the
+  // products buffered before its timestamp — the horizon may not let a
+  // shard run past the cloud plane.
+  LockstepHarness h(2);
+  std::size_t seen_at_cloud = 0;
+  h.shards[0]->ScheduleAt(Seconds(1.0), [&h] {
+    h.buffered[0].emplace_back(Seconds(1.0), 1);
+  });
+  h.shards[1]->ScheduleAt(Seconds(30.0), [&h] {
+    h.buffered[1].emplace_back(Seconds(30.0), 2);
+  });
+  h.cloud.ScheduleAt(Seconds(20.0), [&] { seen_at_cloud = h.merged.size(); });
+  LockstepGroup group(h.cloud, h.ShardPtrs());
+  // Large guard: without the cloud-bound on the horizon shard 1 would run
+  // (and merge) its t=30 event before the t=20 cloud event.
+  group.Run(h.Hooks(), Seconds(1000.0));
+  EXPECT_EQ(seen_at_cloud, 1u);
+  EXPECT_EQ(h.merged.size(), 2u);
+}
+
+TEST(LockstepGroupTest, DrainFeedbackSchedulesWithinGuard) {
+  // Delivery feedback (drain scheduling new shard events at item time +
+  // guard) must always land at-or-after every shard clock.
+  LockstepHarness h(2);
+  const SimDuration guard = Seconds(2.0);
+  std::vector<SimTime> fired;
+  h.shards[0]->ScheduleAt(Seconds(1.0), [&h] {
+    h.buffered[0].emplace_back(Seconds(1.0), 1);
+  });
+  // Dense far-side events keep shard 1 busy across the guard windows.
+  for (int i = 0; i < 8; ++i) {
+    h.shards[1]->ScheduleAt(Seconds(0.5 + i), [&fired, &h] {
+      fired.push_back(h.shards[1]->Now());
+    });
+  }
+  bool scheduled_feedback = false;
+  auto hooks = h.Hooks();
+  hooks.drain = [&](SimTime horizon) {
+    const bool had = h.NextPending() <= horizon;
+    h.Drain(horizon);
+    if (had && !scheduled_feedback) {
+      scheduled_feedback = true;
+      // Feedback exactly at the guard bound: legal, must not clamp.
+      const SimTime when = Seconds(1.0) + guard;
+      h.shards[0]->ScheduleAt(when, [&fired, &h] {
+        fired.push_back(h.shards[0]->Now());
+      });
+    }
+  };
+  LockstepGroup group(h.cloud, h.ShardPtrs());
+  group.Run(hooks, guard);
+  ASSERT_TRUE(scheduled_feedback);
+  // The feedback event ran at its exact timestamp (no clamping forward).
+  EXPECT_NE(std::find(fired.begin(), fired.end(), Seconds(3.0)), fired.end());
+}
+
+TEST(LockstepGroupTest, PoolAndSequentialAdvanceAreIdentical) {
+  auto run = [](ThreadPool* pool) {
+    LockstepHarness h(4);
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (int i = 0; i < 50; ++i) {
+        const SimTime when = Seconds(0.1 * static_cast<double>(i) +
+                                     0.01 * static_cast<double>(s));
+        h.shards[s]->ScheduleAt(when, [&h, s, when, i] {
+          h.buffered[s].emplace_back(when, i);
+        });
+      }
+    }
+    LockstepGroup group(h.cloud, h.ShardPtrs(), pool);
+    group.Run(h.Hooks(), Seconds(1.0));
+    return h.merged;
+  };
+  ThreadPool pool(4);
+  const auto sequential = run(nullptr);
+  const auto parallel = run(&pool);
+  ASSERT_EQ(sequential.size(), 200u);
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST(LockstepGroupTest, RejectsBadConstruction) {
+  EventLoop cloud;
+  EXPECT_THROW(LockstepGroup(cloud, {nullptr}), std::invalid_argument);
+  EXPECT_THROW(LockstepGroup(cloud, {&cloud}), std::invalid_argument);
 }
 
 }  // namespace
