@@ -1,10 +1,16 @@
 // Google-benchmark microbenchmarks for SimDC's hot kernels: local LR
 // training (both operators), FedAvg accumulation, model serialization,
-// AUC discretization, event-loop throughput, and synthetic data
-// generation. These quantify the per-device costs that the Fig. 7/8 cost
-// models parameterize.
+// AUC discretization and ranking, event-loop throughput, and synthetic
+// data generation. These quantify the per-device costs that the Fig. 7/8
+// cost models parameterize. After the google-benchmark run, a custom main
+// hand-times the AUC rank paths and emits OPTIME lines so the
+// bench/compare.py regression gate sees them.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <limits>
+
+#include "bench_util.h"
 #include "cloud/storage.h"
 #include "data/synth_avazu.h"
 #include "device/grade.h"
@@ -142,6 +148,39 @@ void BM_Evaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_Evaluate);
 
+void BM_AucRankPath(benchmark::State& state) {
+  // The AUC rank statistic at eval-cap scale, pinned to one sort path:
+  // Arg(0) = comparison pair-sort, Arg(1) = LSD radix over order-
+  // preserving keys. Identical bits, different wall time.
+  const auto n = static_cast<std::size_t>(state.range(1));
+  data::SynthConfig config;
+  config.num_devices = 64;
+  config.records_per_device_mean = n / 64 + 1;
+  config.hash_dim = 1u << 14;
+  config.seed = 11;
+  const auto dataset = data::GenerateSyntheticAvazu(config);
+  ml::LrModel model(dataset.hash_dim);
+  ml::ServerLrOperator op;
+  op.Train(model, dataset.devices[0].examples, {});
+  std::vector<data::Example> pool;
+  for (const auto& device : dataset.devices) {
+    for (const auto& example : device.examples) {
+      if (pool.size() < n) pool.push_back(example);
+    }
+  }
+  const std::size_t saved = ml::GetAucRadixThreshold();
+  ml::SetAucRadixThreshold(
+      state.range(0) == 0 ? std::numeric_limits<std::size_t>::max() : 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::Auc(model, pool));
+  }
+  ml::SetAucRadixThreshold(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(BM_AucRankPath)
+    ->ArgsProduct({{0, 1}, {4096, 20000}});
+
 void BM_SolveHybridAllocation(benchmark::State& state) {
   // Fig. 7 solver: candidate generation dominates at large device counts.
   const auto scale = static_cast<std::size_t>(state.range(0));
@@ -198,6 +237,54 @@ void BM_SyntheticDataGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticDataGeneration)->Arg(100)->Arg(1000);
 
+/// Hand-timed OPTIME ops for the compare.py gate: the AUC rank statistic
+/// at eval-cap scale (20k scores — FlEngine's default eval_cap) on each
+/// sort path. Deterministic inputs; enough repeats to clear the gate's
+/// 1 ms noise floor.
+void EmitAucRankOpTimings() {
+  data::SynthConfig config;
+  config.num_devices = 64;
+  config.records_per_device_mean = 320;
+  config.hash_dim = 1u << 14;
+  config.seed = 23;
+  const auto dataset = data::GenerateSyntheticAvazu(config);
+  ml::LrModel model(dataset.hash_dim);
+  ml::ServerLrOperator op;
+  op.Train(model, dataset.devices[0].examples, {});
+  std::vector<data::Example> pool;
+  for (const auto& device : dataset.devices) {
+    for (const auto& example : device.examples) {
+      if (pool.size() < 20000) pool.push_back(example);
+    }
+  }
+  const std::size_t saved = ml::GetAucRadixThreshold();
+  constexpr int kRepeats = 50;
+  double sink = 0.0;
+  for (const bool radix : {false, true}) {
+    ml::SetAucRadixThreshold(
+        radix ? 0 : std::numeric_limits<std::size_t>::max());
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRepeats; ++i) sink += ml::Auc(model, pool);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    bench::OpTimings::Instance().Record(
+        radix ? "auc_rank_radix_20k" : "auc_rank_sort_20k",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        kRepeats);
+  }
+  ml::SetAucRadixThreshold(saved);
+  benchmark::DoNotOptimize(sink);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  EmitAucRankOpTimings();
+  simdc::bench::EmitOpTimings();
+  return 0;
+}

@@ -88,6 +88,12 @@ int main() {
   fl.strategy = flow::RealtimeAccumulated{
       {1}, 0.0, flow::kShardWidthInvariantCapacity};
   fl.shards = 2;
+  // Payload blobs are fetched + decoded at dispatch-tick time (on the
+  // shard workers), so the serial aggregator only admits and accumulates;
+  // decoded is the default — spelled out here because it pairs with
+  // shards. flow::DecodePlane::kLegacy decodes serially instead, with
+  // bit-identical results.
+  fl.decode_plane = flow::DecodePlane::kDecoded;
   const auto result = platform.RunFlExperiment(dataset, fl);
   std::printf("\nfederated learning (%zu devices, %zu rounds, 2 fleet "
               "shards):\n",

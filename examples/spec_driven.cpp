@@ -37,6 +37,7 @@ phones = 4
 [execution]
 parallelism = 2
 shards = 2
+decode_plane = decoded
 )";
 
 constexpr const char* kSmokeSpec = R"(
@@ -100,13 +101,21 @@ int main(int argc, char** argv) {
     if (execution->shards > 0 && execution_knobs.shards == 0) {
       execution_knobs.shards = execution->shards;
     }
+    // decode_plane defaults to decoded; the first spec asking for the
+    // legacy (serial-decode) plane pins it for the run.
+    if (execution->decode_plane == flow::DecodePlane::kLegacy) {
+      execution_knobs.decode_plane = flow::DecodePlane::kLegacy;
+    }
   }
   const bool have_knobs =
       execution_knobs.parallelism > 0 || execution_knobs.shards > 0;
   if (have_knobs) {
-    std::printf("using parallelism = %zu, shards = %zu from spec "
-                "[execution]\n",
-                execution_knobs.parallelism, execution_knobs.shards);
+    std::printf("using parallelism = %zu, shards = %zu, decode_plane = %s "
+                "from spec [execution]\n",
+                execution_knobs.parallelism, execution_knobs.shards,
+                execution_knobs.decode_plane == flow::DecodePlane::kDecoded
+                    ? "decoded"
+                    : "legacy");
   }
   core::Platform platform(platform_config);
   for (const auto& doc : docs) {
@@ -156,6 +165,7 @@ int main(int argc, char** argv) {
         {1}, 0.0, flow::kShardWidthInvariantCapacity};
     fl.parallelism = execution_knobs.parallelism;
     fl.shards = execution_knobs.shards;
+    fl.decode_plane = execution_knobs.decode_plane;
     const auto fl_result = platform.RunFlExperiment(dataset, fl);
     std::printf("\nspec-driven FL (%zu devices, %zu fleet shards):\n",
                 dataset.devices.size(),

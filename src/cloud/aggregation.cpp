@@ -43,6 +43,14 @@ void AggregationService::DeliverBatch(std::span<const flow::Message> messages,
   }
 }
 
+void AggregationService::DeliverDecodedBatch(
+    std::span<const flow::DecodedUpdate> updates,
+    std::span<const SimTime> arrivals) {
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    DeliverDecodedOne(updates[i], arrivals[i]);
+  }
+}
+
 void AggregationService::DeliverOne(const flow::Message& message,
                                     SimTime arrival) {
   if (stopped_) return;
@@ -72,10 +80,47 @@ void AggregationService::DeliverOne(const flow::Message& message,
         << model.error().ToString();
     return;
   }
+  Accumulate(*model, message, arrival);
+}
+
+void AggregationService::DeliverDecodedOne(const flow::DecodedUpdate& update,
+                                           SimTime arrival) {
+  if (stopped_) return;
+  ++messages_received_;
+
+  // Same admission order as the legacy plane: staleness verdict FIRST,
+  // then the deferred decode failure commits — a stale update with a bad
+  // payload is a stale rejection, never a decode failure.
+  if (config_.reject_stale && update.message.round != history_.size()) {
+    ++stale_rejections_;
+    return;
+  }
+
+  if (!update.decoded()) {
+    ++decode_failures_;
+    if (update.failure == flow::DecodedUpdate::Failure::kMissingBlob) {
+      SIMDC_LOG(kWarn, "AggregationService")
+          << "missing payload blob for " << update.message.id.ToString()
+          << ": " << update.error.ToString();
+    } else {
+      SIMDC_LOG(kWarn, "AggregationService")
+          << "undecodable model from " << update.message.device.ToString()
+          << ": " << update.error.ToString();
+    }
+    return;
+  }
+  Accumulate(*update.model, update.message, arrival);
+}
+
+void AggregationService::Accumulate(const ml::LrModel& model,
+                                    const flow::Message& message,
+                                    SimTime arrival) {
   const std::size_t samples =
       message.sample_count > 0 ? message.sample_count : 1;
-  const Status added = aggregator_.Add(*model, samples);
+  const Status added = aggregator_.Add(model, samples);
   if (!added.ok()) {
+    // Dimension mismatch — the decode "succeeded" but the model is
+    // unusable; both planes book it as a decode failure here.
     ++decode_failures_;
     return;
   }

@@ -6,10 +6,14 @@
 // aggregation. Common triggers include reaching a threshold of total edge
 // training samples or reaching scheduled times."
 //
-// The service is a DeviceFlow CloudEndpoint: it receives messages, fetches
-// the referenced model blobs from shared storage, accumulates them into a
-// FedAvg aggregator, and publishes a new global model whenever its trigger
-// fires (sample-threshold — Fig. 9a — or scheduled — Fig. 9b / Fig. 11).
+// The service is a DeviceFlow CloudEndpoint: it receives messages,
+// accumulates the referenced model updates into a FedAvg aggregator, and
+// publishes a new global model whenever its trigger fires
+// (sample-threshold — Fig. 9a — or scheduled — Fig. 9b / Fig. 11). On the
+// decoded payload plane (flow::DecodePlane::kDecoded) the blob fetch +
+// decode happened upstream, in parallel, and this serial side is only the
+// staleness verdict, counter bookkeeping and the O(dim) fixed-order
+// accumulate; on the legacy plane it fetches + decodes inline.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +71,8 @@ class AggregationService final : public flow::CloudEndpoint {
   void Start();
   void Stop() { stopped_ = true; }
 
-  /// DeviceFlow delivery: fetch blob, decode model, accumulate.
+  /// DeviceFlow delivery (legacy plane): fetch blob, decode model,
+  /// accumulate — all inside this serial handler.
   void Deliver(const flow::Message& message, SimTime arrival) override;
 
   /// Batched DeviceFlow delivery: one dispatch tick in a single call. Each
@@ -76,6 +81,16 @@ class AggregationService final : public flow::CloudEndpoint {
   /// per-message path would (the triggering message's arrival).
   void DeliverBatch(std::span<const flow::Message> messages,
                     std::span<const SimTime> arrivals) override;
+
+  /// Decoded-plane delivery: payloads were fetched + decoded upstream
+  /// (dispatch ticks, possibly on shard workers), so the serial side is
+  /// only the staleness verdict, counter commits and the O(dim)
+  /// fixed-order accumulate — it never touches BlobStore or FromBytes.
+  /// Counter semantics are bit-identical to the legacy plane: a decode
+  /// failure commits only if the update survives the reject_stale check,
+  /// in delivery order (see flow::DecodedUpdate).
+  void DeliverDecodedBatch(std::span<const flow::DecodedUpdate> updates,
+                           std::span<const SimTime> arrivals) override;
 
   const ml::LrModel& global_model() const { return global_model_; }
   void SetGlobalModel(ml::LrModel model) { global_model_ = std::move(model); }
@@ -103,6 +118,13 @@ class AggregationService final : public flow::CloudEndpoint {
   /// (== loop time in the per-message path, possibly ahead of loop time
   /// inside a batched tick).
   void DeliverOne(const flow::Message& message, SimTime arrival);
+  /// Decoded-plane delivery body: admit (staleness), commit deferred
+  /// decode failures, accumulate.
+  void DeliverDecodedOne(const flow::DecodedUpdate& update, SimTime arrival);
+  /// Shared tail of both delivery bodies: weighted accumulate + the
+  /// sample-threshold trigger.
+  void Accumulate(const ml::LrModel& model, const flow::Message& message,
+                  SimTime arrival);
   /// Aggregates with an explicit round timestamp (`when` is recorded as
   /// AggregationRecord::time).
   bool AggregateAt(SimTime when);

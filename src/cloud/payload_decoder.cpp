@@ -1,0 +1,26 @@
+#include "cloud/payload_decoder.h"
+
+#include <utility>
+
+namespace simdc::cloud {
+
+flow::DecodedUpdate BlobModelDecoder::Decode(flow::Message message) const {
+  flow::DecodedUpdate update;
+  update.message = std::move(message);
+  auto blob = storage_->GetShared(update.message.payload);
+  if (!blob.ok()) {
+    update.failure = flow::DecodedUpdate::Failure::kMissingBlob;
+    update.error = blob.error();
+    return update;
+  }
+  auto model = ml::LrModel::FromBytesShared(**blob);
+  if (!model.ok()) {
+    update.failure = flow::DecodedUpdate::Failure::kUndecodable;
+    update.error = model.error();
+    return update;
+  }
+  update.model = std::move(*model);
+  return update;
+}
+
+}  // namespace simdc::cloud

@@ -3,11 +3,12 @@
 namespace simdc::cloud {
 
 BlobId BlobStore::Put(std::vector<std::byte> bytes) {
+  auto blob = std::make_shared<const std::vector<std::byte>>(std::move(bytes));
   std::lock_guard<std::mutex> lock(mutex_);
   const BlobId id(next_id_++);
-  total_bytes_ += bytes.size();
-  bytes_written_ += bytes.size();
-  blobs_.emplace(id, std::move(bytes));
+  total_bytes_ += blob->size();
+  bytes_written_ += blob->size();
+  blobs_.emplace(id, std::move(blob));
   return id;
 }
 
@@ -17,7 +18,17 @@ Result<std::vector<std::byte>> BlobStore::Get(BlobId id) const {
   if (it == blobs_.end()) {
     return NotFound("blob not found: " + id.ToString());
   }
-  bytes_read_ += it->second.size();
+  bytes_read_ += it->second->size();
+  return *it->second;
+}
+
+Result<SharedBlob> BlobStore::GetShared(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob not found: " + id.ToString());
+  }
+  bytes_read_ += it->second->size();
   return it->second;
 }
 
@@ -27,7 +38,7 @@ Status BlobStore::Delete(BlobId id) {
   if (it == blobs_.end()) {
     return NotFound("blob not found: " + id.ToString());
   }
-  total_bytes_ -= it->second.size();
+  total_bytes_ -= it->second->size();
   blobs_.erase(it);
   return Status::Ok();
 }

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -19,6 +20,14 @@
 
 namespace simdc::cloud {
 
+/// Shared-ownership view of a stored blob (see BlobStore::GetShared).
+using SharedBlob = std::shared_ptr<const std::vector<std::byte>>;
+
+/// All operations are thread-safe; blobs are immutable once Put, so a
+/// SharedBlob handed out by GetShared stays valid (and bit-stable) even if
+/// the blob is Deleted or the store destroyed while readers hold it — the
+/// property that lets N shard decoders read concurrently with zero copies
+/// while the serial plane keeps publishing new models.
 class BlobStore {
  public:
   /// Stores a blob; returns its id.
@@ -26,6 +35,10 @@ class BlobStore {
 
   /// Fetches a blob (copy; the store stays authoritative).
   Result<std::vector<std::byte>> Get(BlobId id) const;
+
+  /// Fetches a blob by shared ownership — the hot-path read: one mutex
+  /// acquisition and one shared_ptr copy, no payload copy.
+  Result<SharedBlob> GetShared(BlobId id) const;
 
   Status Delete(BlobId id);
   bool Contains(BlobId id) const;
@@ -40,7 +53,7 @@ class BlobStore {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<BlobId, std::vector<std::byte>> blobs_;
+  std::unordered_map<BlobId, SharedBlob> blobs_;
   std::uint64_t next_id_ = 1;
   std::size_t total_bytes_ = 0;
   std::size_t bytes_written_ = 0;

@@ -313,6 +313,19 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
   } else if (has_section && shards.error().code() != ErrorCode::kNotFound) {
     return shards.error();
   }
+  if (auto plane = GetString(doc, "execution", "decode_plane"); plane.ok()) {
+    if (*plane == "decoded") {
+      config.decode_plane = flow::DecodePlane::kDecoded;
+    } else if (*plane == "legacy") {
+      config.decode_plane = flow::DecodePlane::kLegacy;
+    } else {
+      return InvalidArgument(
+          "[execution] decode_plane must be 'decoded' or 'legacy', got '" +
+          *plane + "'");
+    }
+  } else if (has_section && plane.error().code() != ErrorCode::kNotFound) {
+    return plane.error();
+  }
   return config;
 }
 

@@ -44,6 +44,7 @@
 
 #include "cloud/aggregation.h"
 #include "common/error.h"
+#include "flow/decoded_update.h"
 #include "flow/strategy.h"
 #include "sched/task.h"
 
@@ -100,10 +101,17 @@ struct ExecutionConfig {
   /// merged deterministically (FlExperimentConfig::shards semantics;
   /// clamped to the device count by the engine).
   std::size_t shards = 0;
+  /// Payload plane: decoded (default — dispatch ticks fetch + decode
+  /// blobs in parallel, the serial aggregator only accumulates) or legacy
+  /// (decode inside the serial delivery handler; the equivalence-test
+  /// reference). Bit-identical results either way
+  /// (FlExperimentConfig::decode_plane semantics).
+  flow::DecodePlane decode_plane = flow::DecodePlane::kDecoded;
 };
 
-/// Reads [execution] (parallelism = N, shards = N). A missing section or
-/// key yields the defaults; malformed or negative values are rejected.
+/// Reads [execution] (parallelism = N, shards = N,
+/// decode_plane = decoded|legacy). A missing section or key yields the
+/// defaults; malformed or negative values are rejected.
 Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
 
 /// One-call convenience: parse text and build the TaskSpec.

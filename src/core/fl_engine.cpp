@@ -60,6 +60,9 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
       // the single-fleet bound instead of scaling with shard count.
       shard.dispatcher->set_batch_log_cap(
           std::max<std::size_t>(1, flow::kDefaultBatchLogCap / width));
+      if (config_.decode_plane == flow::DecodePlane::kDecoded) {
+        shard.dispatcher->set_decoder(&decoder_);
+      }
       shards_.push_back(std::move(shard));
     }
   } else {
@@ -67,6 +70,9 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
         flow_.ConfigureTask(config_.task, config_.strategy, service_.get(),
                             config_.seed, config_.delivery_mode);
     SIMDC_CHECK(configured.ok(), "FlEngine: DeviceFlow configuration failed");
+    if (config_.decode_plane == flow::DecodePlane::kDecoded) {
+      flow_.FindDispatcher(config_.task)->set_decoder(&decoder_);
+    }
   }
 
   // Build the train-evaluation pool: a deterministic, capped sample of the

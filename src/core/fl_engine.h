@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cloud/aggregation.h"
+#include "cloud/payload_decoder.h"
 #include "cloud/storage.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -75,6 +76,24 @@ struct FlExperimentConfig {
   /// kSampleThreshold triggers the two modes never diverge. Within one
   /// mode, results are always deterministic at every parallelism.
   flow::DeliveryMode delivery_mode = flow::DeliveryMode::kBatched;
+  /// Payload plane of the batched delivery path (spec:
+  /// [execution] decode_plane = decoded | legacy). kDecoded (default)
+  /// fetches + decodes every payload blob at dispatch-tick time — on the
+  /// shard workers when `shards` > 1, so decode parallelizes with the
+  /// flow plane — and the serial AggregationService only admits and
+  /// accumulates; kLegacy decodes inside the serial delivery handler (the
+  /// reference for equivalence tests). Results, counters
+  /// (decode_failures / stale_rejections) and dispatch stats are
+  /// bit-identical across both planes at every shard width: decode draws
+  /// no RNG and failure accounting is deferred to the serial commit
+  /// point in delivery order (flow::DecodedUpdate). kPerMessage delivery
+  /// always runs the legacy plane regardless of this knob. Wall-time
+  /// honesty: the win needs cores — on a single-core machine a sharded
+  /// decoded run pays ~25-35% over kLegacy (channel buffering plus
+  /// allocator/mutex traffic from the pool-advanced decode with no
+  /// parallelism to amortize it; fig8_decoded_shards_* measures this), so
+  /// pin kLegacy for single-core batch farms if wall time there matters.
+  flow::DecodePlane decode_plane = flow::DecodePlane::kDecoded;
   cloud::AggregationTrigger trigger = cloud::AggregationTrigger::kScheduled;
   std::size_t sample_threshold = 1000;
   SimDuration schedule_period = Seconds(60.0);
@@ -189,6 +208,9 @@ class FlEngine {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   cloud::BlobStore storage_;
+  /// Fetch-and-decode hook dispatchers use on the decoded payload plane
+  /// (thread-safe; shared by every shard's dispatcher).
+  cloud::BlobModelDecoder decoder_{storage_};
   flow::DeviceFlow flow_;
   std::unique_ptr<cloud::AggregationService> service_;
   /// Sharded topology (empty on the single-fleet path). merger_ is

@@ -8,6 +8,20 @@
 
 namespace simdc::flow {
 
+void CloudEndpoint::DeliverDecodedBatch(std::span<const DecodedUpdate> updates,
+                                        std::span<const SimTime> arrivals) {
+  // Fallback for sinks that predate the decoded plane: strip the decode and
+  // hand the bare messages to the undecoded batch hook (which itself falls
+  // back to per-message Deliver). The decode work is discarded, not the
+  // messages — such a sink re-fetches exactly what it would have seen.
+  std::vector<Message> messages;
+  messages.reserve(updates.size());
+  for (const DecodedUpdate& update : updates) {
+    messages.push_back(update.message);
+  }
+  DeliverBatch(std::span<const Message>(messages), arrivals);
+}
+
 std::vector<Message> Shelf::Take(std::size_t count) {
   const std::size_t n = std::min(count, messages_.size());
   // Bulk range move + single erase instead of n front-pops: the deque
@@ -255,11 +269,30 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
     // would have delivered at. Round fan-in is O(ticks), not O(messages).
     const SimTime first = arrivals.front();
     CloudEndpoint* sink = downstream_;
-    loop_.ScheduleAt(first, [sink, survivors = std::move(survivors),
-                             arrivals = std::move(arrivals)] {
-      sink->DeliverBatch(std::span<const Message>(survivors),
-                         std::span<const SimTime>(arrivals));
-    });
+    if (decoder_ != nullptr) {
+      // Decoded plane: fetch + decode every survivor NOW, at tick time —
+      // on the shard loop's worker thread when fleets advance in lockstep
+      // — so the delivery event carries ready-to-accumulate updates and
+      // the serial side never touches storage. Blobs are immutable once
+      // Put, so decoding ahead of the delivery timestamp observes the
+      // same bytes; failures ride along for deferred accounting.
+      std::vector<DecodedUpdate> decoded;
+      decoded.reserve(survivors.size());
+      for (Message& message : survivors) {
+        decoded.push_back(decoder_->Decode(std::move(message)));
+      }
+      loop_.ScheduleAt(first, [sink, decoded = std::move(decoded),
+                               arrivals = std::move(arrivals)] {
+        sink->DeliverDecodedBatch(std::span<const DecodedUpdate>(decoded),
+                                  std::span<const SimTime>(arrivals));
+      });
+    } else {
+      loop_.ScheduleAt(first, [sink, survivors = std::move(survivors),
+                               arrivals = std::move(arrivals)] {
+        sink->DeliverBatch(std::span<const Message>(survivors),
+                           std::span<const SimTime>(arrivals));
+      });
+    }
   }
   stats_.sent += sent;
   if (stats_.batches.size() < batch_log_cap_) {

@@ -23,6 +23,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "flow/decoded_update.h"
 #include "flow/message.h"
 #include "flow/strategy.h"
 #include "sim/event_loop.h"
@@ -47,6 +48,16 @@ class CloudEndpoint {
       Deliver(messages[i], arrivals[i]);
     }
   }
+
+  /// Decoded-plane delivery: one dispatch tick whose payloads were already
+  /// fetched + decoded by the dispatcher (see flow::DecodedUpdate for the
+  /// deferred-accounting contract). Same span shape as DeliverBatch. The
+  /// default strips the decode and falls back to DeliverBatch, so sinks
+  /// that still decode for themselves keep working behind a decoding
+  /// dispatcher; endpoints on the hot path (cloud::AggregationService)
+  /// override it and never touch storage in the handler.
+  virtual void DeliverDecodedBatch(std::span<const DecodedUpdate> updates,
+                                   std::span<const SimTime> arrivals);
 };
 
 /// How a dispatcher hands a dispatch tick to the event loop:
@@ -131,6 +142,16 @@ class Dispatcher {
   DeliveryMode delivery_mode() const { return delivery_mode_; }
   void set_delivery_mode(DeliveryMode mode) { delivery_mode_ = mode; }
 
+  /// Arms the decoded payload plane: batched dispatch ticks fetch + decode
+  /// every survivor through `decoder` at tick time (speculatively — see
+  /// flow::DecodedUpdate) and deliver via DeliverDecodedBatch instead of
+  /// DeliverBatch. Sharded fleets call Decode from shard loops advancing in
+  /// parallel, so the decoder must be thread-safe. nullptr (default) keeps
+  /// the undecoded plane; kPerMessage mode always delivers undecoded (it is
+  /// the legacy reference path).
+  void set_decoder(const PayloadDecoder* decoder) { decoder_ = decoder; }
+  const PayloadDecoder* decoder() const { return decoder_; }
+
   /// Bounds DispatchStats::batches (default kDefaultBatchLogCap).
   void set_batch_log_cap(std::size_t cap) { batch_log_cap_ = cap; }
 
@@ -155,6 +176,8 @@ class Dispatcher {
   DispatchStrategy strategy_;
   CloudEndpoint* downstream_;
   Rng rng_;
+  /// Decoded-plane fetch + decode hook (nullptr = undecoded delivery).
+  const PayloadDecoder* decoder_ = nullptr;
   /// Key for per-message transmission-failure draws (see
   /// TransmissionDrop); shared-seed dispatchers derive the same key, so
   /// shard slices agree on every message's fate.

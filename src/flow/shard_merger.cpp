@@ -30,6 +30,22 @@ void ShardChannel::DeliverBatch(std::span<const Message> messages,
   ticks_.push_back(std::move(tick));
 }
 
+void ShardChannel::DeliverDecodedBatch(std::span<const DecodedUpdate> updates,
+                                       std::span<const SimTime> arrivals) {
+  SIMDC_CHECK(updates.size() == arrivals.size(),
+              "ShardChannel: decoded batch span size mismatch");
+  if (updates.empty()) return;
+  // Decoded ticks buffer the updates as-is — the models are shared_ptrs,
+  // so parking a tick at the barrier costs O(messages) pointer copies, not
+  // O(messages * dim) payload copies.
+  Tick tick;
+  tick.time = arrivals.front();
+  tick.key = updates.front().message.id.value();
+  tick.updates.assign(updates.begin(), updates.end());
+  tick.arrivals.assign(arrivals.begin(), arrivals.end());
+  ticks_.push_back(std::move(tick));
+}
+
 ShardMerger::ShardMerger(std::size_t shards, CloudEndpoint* downstream,
                          sim::EventLoop* cloud_loop)
     : channels_(shards), downstream_(downstream), cloud_loop_(cloud_loop) {
@@ -75,11 +91,17 @@ std::size_t ShardMerger::DrainUpTo(SimTime horizon) {
     // Mirror the clock a directly-scheduled delivery event would see: the
     // delivery fires at the tick's first arrival.
     if (cloud_loop_ != nullptr) cloud_loop_->RunUntil(tick.time);
-    downstream_->DeliverBatch(std::span<const Message>(tick.messages),
-                              std::span<const SimTime>(tick.arrivals));
+    if (!tick.updates.empty()) {
+      downstream_->DeliverDecodedBatch(
+          std::span<const DecodedUpdate>(tick.updates),
+          std::span<const SimTime>(tick.arrivals));
+    } else {
+      downstream_->DeliverBatch(std::span<const Message>(tick.messages),
+                                std::span<const SimTime>(tick.arrivals));
+    }
     ++forwarded;
     ++ticks_merged_;
-    messages_merged_ += tick.messages.size();
+    messages_merged_ += tick.messages.size() + tick.updates.size();
   }
   return forwarded;
 }

@@ -35,25 +35,31 @@
 namespace simdc::flow {
 
 /// Per-shard capture endpoint: a CloudEndpoint that records delivered
-/// ticks (batched or per-message) instead of consuming them. Single-writer
-/// by construction — only its shard's event loop touches it — so the
-/// merger can run shards on a thread pool without locks.
+/// ticks (batched, decoded or per-message) instead of consuming them.
+/// Single-writer by construction — only its shard's event loop touches it
+/// — so the merger can run shards on a thread pool without locks.
 class ShardChannel final : public CloudEndpoint {
  public:
   /// One captured dispatch tick. `time` is the tick's wire time —
   /// arrivals.front() — which is also the shard loop's clock when the
   /// delivery event fired. `key` is the first message's id: the
   /// equal-time merge key (ids are globally wave- then device-ordered).
+  /// Exactly one of `messages` (undecoded tick) and `updates` (decoded
+  /// tick — payloads already fetched + decoded on this shard's loop) is
+  /// non-empty; the merger forwards through the matching endpoint hook.
   struct Tick {
     SimTime time = 0;
     std::uint64_t key = 0;
     std::vector<Message> messages;
+    std::vector<DecodedUpdate> updates;
     std::vector<SimTime> arrivals;
   };
 
   void Deliver(const Message& message, SimTime arrival) override;
   void DeliverBatch(std::span<const Message> messages,
                     std::span<const SimTime> arrivals) override;
+  void DeliverDecodedBatch(std::span<const DecodedUpdate> updates,
+                           std::span<const SimTime> arrivals) override;
 
   bool empty() const { return ticks_.empty(); }
   /// Earliest buffered tick time (sim::EventLoop::kNoEvent when empty).

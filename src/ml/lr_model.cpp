@@ -51,4 +51,12 @@ Result<LrModel> LrModel::FromBytes(std::span<const std::byte> bytes) {
   return model;
 }
 
+Result<std::shared_ptr<const LrModel>> LrModel::FromBytesShared(
+    std::span<const std::byte> bytes) {
+  auto model = FromBytes(bytes);
+  if (!model.ok()) return model.error();
+  return std::shared_ptr<const LrModel>(
+      std::make_shared<LrModel>(std::move(*model)));
+}
+
 }  // namespace simdc::ml

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +53,12 @@ class LrModel {
   /// Wire format: dim, bias, weights — the blob devices upload to storage.
   std::vector<std::byte> ToBytes() const;
   static Result<LrModel> FromBytes(std::span<const std::byte> bytes);
+  /// Shared-ownership decode — the entry point of the parallel payload
+  /// plane (flow::DecodedUpdate). Same validation and bits as FromBytes;
+  /// the shared_ptr lets a decoded model travel the shard merge plane and
+  /// be buffered/re-queued without O(dim) copies.
+  static Result<std::shared_ptr<const LrModel>> FromBytesShared(
+      std::span<const std::byte> bytes);
 
   /// Serialized size in bytes (what DeviceFlow/storage accounting uses).
   std::size_t SerializedSize() const {

@@ -1,9 +1,14 @@
 // Unit tests for the cloud services: blob storage, metrics database,
-// aggregation service with both triggers.
+// aggregation service with both triggers and both payload planes.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
 
 #include "cloud/aggregation.h"
 #include "cloud/database.h"
+#include "cloud/payload_decoder.h"
 #include "cloud/storage.h"
 #include "ml/lr_model.h"
 #include "sim/event_loop.h"
@@ -51,6 +56,97 @@ TEST(BlobStoreTest, ByteAccounting) {
   ASSERT_TRUE(store.Delete(a).ok());
   EXPECT_EQ(store.total_bytes(), 2u);
   EXPECT_EQ(store.bytes_written(), 6u);  // cumulative
+}
+
+TEST(BlobStoreTest, GetSharedAliasesWithoutCopy) {
+  BlobStore store;
+  const BlobId id = store.Put(Bytes({1, 2, 3, 4}));
+  auto a = store.GetShared(id);
+  auto b = store.GetShared(id);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both reads alias the one stored buffer — the whole point of the
+  // shared-ownership hot path.
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ((*a)->size(), 4u);
+  EXPECT_EQ(store.bytes_read(), 8u);  // still accounted per read
+  EXPECT_FALSE(store.GetShared(BlobId(99)).ok());
+}
+
+TEST(BlobStoreTest, SharedBlobSurvivesDelete) {
+  // A reader holding a SharedBlob must keep its bytes valid (and
+  // bit-stable) across a concurrent Delete — the decode plane may still
+  // be chewing on a blob the serial plane garbage-collects.
+  BlobStore store;
+  const BlobId id = store.Put(Bytes({7, 8, 9}));
+  auto blob = store.GetShared(id);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(store.Delete(id).ok());
+  EXPECT_FALSE(store.Contains(id));
+  ASSERT_EQ((*blob)->size(), 3u);
+  EXPECT_EQ((**blob)[0], static_cast<std::byte>(7));
+}
+
+TEST(BlobStoreConcurrencyTest, ConcurrentPutGetDeleteStress) {
+  // N writers Put/Delete while N readers Get/GetShared and decode — the
+  // exact concurrency shape of the decoded payload plane (shard workers
+  // fetch + decode while the serial plane publishes new globals). Run
+  // under ASan/UBSan in CI, this is the data-race gate for BlobStore.
+  BlobStore store;
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 4;
+  constexpr int kBlobsPerWriter = 200;
+  ml::LrModel model(64);
+  model.weights()[0] = 1.5f;
+  const auto payload = model.ToBytes();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> max_id{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kBlobsPerWriter; ++i) {
+        const BlobId id = store.Put(payload);
+        std::uint64_t seen = max_id.load(std::memory_order_relaxed);
+        while (seen < id.value() &&
+               !max_id.compare_exchange_weak(seen, id.value(),
+                                             std::memory_order_relaxed)) {
+        }
+        if (i % 3 == 0) (void)store.Delete(id);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::uint64_t probe = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t ceiling = max_id.load(std::memory_order_relaxed);
+        if (ceiling == 0) continue;
+        probe = probe % ceiling + 1;
+        if (r % 2 == 0) {
+          auto blob = store.GetShared(BlobId(probe));
+          if (blob.ok()) {
+            auto decoded = ml::LrModel::FromBytesShared(**blob);
+            ASSERT_TRUE(decoded.ok());
+            ASSERT_EQ((*decoded)->weights()[0], 1.5f);
+          }
+        } else {
+          auto blob = store.Get(BlobId(probe));
+          if (blob.ok()) {
+            ASSERT_EQ(blob->size(), payload.size());
+          }
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  // Two thirds of each writer's blobs survive its own deletes.
+  EXPECT_GT(store.blob_count(), 0u);
+  EXPECT_EQ(store.bytes_written(),
+            payload.size() * kWriters * kBlobsPerWriter);
 }
 
 // ---------- MetricsDatabase ----------
@@ -129,13 +225,14 @@ class AggregationTest : public ::testing::Test {
   static constexpr std::uint32_t kDim = 16;
 
   flow::Message Upload(BlobStore& store, float weight0, std::size_t samples,
-                       std::uint64_t id) {
+                       std::uint64_t id, std::size_t round = 0) {
     ml::LrModel model(kDim);
     model.weights()[0] = weight0;
     flow::Message m;
     m.id = MessageId(id);
     m.task = TaskId(1);
     m.device = DeviceId(id);
+    m.round = round;
     m.payload = store.Put(model.ToBytes());
     m.sample_count = samples;
     return m;
@@ -299,6 +396,202 @@ TEST_F(AggregationTest, PublishesModelBlobAndCallback) {
       });
   service.Deliver(Upload(store_, 4.0f, 5, 1), 0);
   EXPECT_EQ(callbacks, 1u);
+}
+
+// ---------- Decoded payload plane ----------
+
+/// Same fixture, decoded-plane cases: the serial service receives
+/// DecodedUpdates (payloads fetched + decoded upstream) and must keep
+/// every counter and every bit identical to the legacy decode-in-handler
+/// plane. Pinned by name in the CI sanitizer job.
+class AggregationDecodedTest : public AggregationTest {
+ protected:
+  /// Pushes `messages` through a fresh service on the given plane and
+  /// returns it for inspection.
+  struct Outcome {
+    std::size_t received = 0;
+    std::size_t decode_failures = 0;
+    std::size_t stale_rejections = 0;
+    std::size_t rounds = 0;
+    std::vector<AggregationRecord> history;
+    std::vector<float> weights;
+  };
+
+  Outcome Run(BlobStore& store, const std::vector<flow::Message>& messages,
+              const std::vector<SimTime>& arrivals, bool decoded,
+              bool reject_stale) {
+    AggregationConfig config;
+    config.model_dim = kDim;
+    config.trigger = AggregationTrigger::kSampleThreshold;
+    config.sample_threshold = 30;
+    config.reject_stale = reject_stale;
+    AggregationService service(loop_, store, config);
+    if (decoded) {
+      BlobModelDecoder decoder(store);
+      std::vector<flow::DecodedUpdate> updates;
+      updates.reserve(messages.size());
+      for (const auto& message : messages) {
+        updates.push_back(decoder.Decode(message));
+      }
+      service.DeliverDecodedBatch(updates, arrivals);
+    } else {
+      service.DeliverBatch(messages, arrivals);
+    }
+    Outcome out;
+    out.received = service.messages_received();
+    out.decode_failures = service.decode_failures();
+    out.stale_rejections = service.stale_rejections();
+    out.rounds = service.rounds_completed();
+    out.history = service.history();
+    out.weights.assign(service.global_model().weights().begin(),
+                       service.global_model().weights().end());
+    return out;
+  }
+
+  static void ExpectSameOutcome(const Outcome& a, const Outcome& b) {
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.decode_failures, b.decode_failures);
+    EXPECT_EQ(a.stale_rejections, b.stale_rejections);
+    ASSERT_EQ(a.rounds, b.rounds);
+    for (std::size_t r = 0; r < a.rounds; ++r) {
+      EXPECT_EQ(a.history[r].time, b.history[r].time);
+      EXPECT_EQ(a.history[r].clients, b.history[r].clients);
+      EXPECT_EQ(a.history[r].samples, b.history[r].samples);
+    }
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    EXPECT_EQ(0, std::memcmp(a.weights.data(), b.weights.data(),
+                             a.weights.size() * sizeof(float)));
+  }
+};
+
+TEST_F(AggregationDecodedTest, DecodedBatchMatchesLegacyWithFailures) {
+  // A stream mixing valid updates, corrupt blobs, missing blobs, a
+  // wrong-dimension model and a threshold crossing mid-batch must produce
+  // identical counters, round records and global-model bits on both
+  // planes.
+  BlobStore store;
+  std::vector<flow::Message> messages;
+  std::vector<SimTime> arrivals;
+  std::uint64_t id = 1;
+  auto push = [&](flow::Message m) {
+    arrivals.push_back(Seconds(static_cast<double>(id)));
+    messages.push_back(std::move(m));
+    ++id;
+  };
+  push(Upload(store, 1.0f, 10, id));
+  {
+    flow::Message corrupt;  // undecodable payload
+    corrupt.id = MessageId(id);
+    corrupt.task = TaskId(1);
+    corrupt.payload = store.Put(Bytes({1, 2, 3}));
+    corrupt.sample_count = 10;
+    push(corrupt);
+  }
+  {
+    flow::Message missing;  // payload never stored
+    missing.id = MessageId(id);
+    missing.task = TaskId(1);
+    missing.payload = BlobId(424242);
+    missing.sample_count = 10;
+    push(missing);
+  }
+  push(Upload(store, 2.0f, 10, id));
+  {
+    ml::LrModel wrong(kDim * 2);  // decodes, but cannot accumulate
+    flow::Message mismatch;
+    mismatch.id = MessageId(id);
+    mismatch.task = TaskId(1);
+    mismatch.payload = store.Put(wrong.ToBytes());
+    mismatch.sample_count = 10;
+    push(mismatch);
+  }
+  push(Upload(store, 3.0f, 10, id));  // crosses the 30-sample threshold
+  push(Upload(store, 4.0f, 10, id));  // lands in round 2's accumulator
+
+  const auto legacy = Run(store, messages, arrivals, /*decoded=*/false,
+                          /*reject_stale=*/false);
+  const auto decoded = Run(store, messages, arrivals, /*decoded=*/true,
+                           /*reject_stale=*/false);
+  EXPECT_EQ(legacy.decode_failures, 3u);  // corrupt + missing + wrong dim
+  EXPECT_EQ(legacy.stale_rejections, 0u);
+  EXPECT_EQ(legacy.rounds, 1u);
+  ExpectSameOutcome(legacy, decoded);
+}
+
+TEST_F(AggregationDecodedTest, StaleBadPayloadIsStaleNotDecodeFailure) {
+  // The accounting-order contract: reject_stale is checked BEFORE the
+  // (deferred) decode failure commits, so a stale message with a corrupt
+  // or missing payload is a stale rejection on both planes — the decoded
+  // plane must not book its speculative decode error.
+  BlobStore store;
+  std::vector<flow::Message> messages;
+  std::vector<SimTime> arrivals;
+  {
+    flow::Message corrupt_stale;
+    corrupt_stale.id = MessageId(1);
+    corrupt_stale.task = TaskId(1);
+    corrupt_stale.round = 7;  // history is empty: anything != 0 is stale
+    corrupt_stale.payload = store.Put(Bytes({9, 9}));
+    corrupt_stale.sample_count = 5;
+    messages.push_back(corrupt_stale);
+    arrivals.push_back(Seconds(1.0));
+  }
+  {
+    flow::Message missing_stale;
+    missing_stale.id = MessageId(2);
+    missing_stale.task = TaskId(1);
+    missing_stale.round = 9;
+    missing_stale.payload = BlobId(777777);
+    missing_stale.sample_count = 5;
+    messages.push_back(missing_stale);
+    arrivals.push_back(Seconds(2.0));
+  }
+  // Fresh-round bad payloads for contrast: these DO count as decode
+  // failures on both planes.
+  {
+    flow::Message corrupt_fresh;
+    corrupt_fresh.id = MessageId(3);
+    corrupt_fresh.task = TaskId(1);
+    corrupt_fresh.round = 0;
+    corrupt_fresh.payload = store.Put(Bytes({1}));
+    corrupt_fresh.sample_count = 5;
+    messages.push_back(corrupt_fresh);
+    arrivals.push_back(Seconds(3.0));
+  }
+  {
+    flow::Message missing_fresh;
+    missing_fresh.id = MessageId(4);
+    missing_fresh.task = TaskId(1);
+    missing_fresh.round = 0;
+    missing_fresh.payload = BlobId(888888);
+    missing_fresh.sample_count = 5;
+    messages.push_back(missing_fresh);
+    arrivals.push_back(Seconds(4.0));
+  }
+
+  const auto legacy = Run(store, messages, arrivals, /*decoded=*/false,
+                          /*reject_stale=*/true);
+  const auto decoded = Run(store, messages, arrivals, /*decoded=*/true,
+                           /*reject_stale=*/true);
+  EXPECT_EQ(legacy.stale_rejections, 2u);
+  EXPECT_EQ(legacy.decode_failures, 2u);
+  EXPECT_EQ(legacy.received, 4u);
+  ExpectSameOutcome(legacy, decoded);
+}
+
+TEST_F(AggregationDecodedTest, StoppedServiceIgnoresDecodedDeliveries) {
+  BlobStore store;
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store, config);
+  service.Stop();
+  BlobModelDecoder decoder(store);
+  const std::vector<flow::DecodedUpdate> updates = {
+      decoder.Decode(Upload(store, 1.0f, 5, 1))};
+  const std::vector<SimTime> arrivals = {Seconds(1.0)};
+  service.DeliverDecodedBatch(updates, arrivals);
+  EXPECT_EQ(service.messages_received(), 0u);
+  EXPECT_EQ(service.decode_failures(), 0u);
 }
 
 TEST_F(AggregationTest, StopIgnoresFurtherDeliveries) {

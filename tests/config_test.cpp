@@ -297,6 +297,32 @@ TEST(ExecutionConfigTest, RejectsInvalidParallelism) {
   EXPECT_TRUE(check("[execution]\nparallelism = lots\n"));
 }
 
+TEST(ExecutionConfigTest, ParsesDecodePlane) {
+  auto decoded = ParseIni("[execution]\ndecode_plane = decoded\n");
+  ASSERT_TRUE(decoded.ok());
+  auto decoded_config = LoadExecution(*decoded);
+  ASSERT_TRUE(decoded_config.ok());
+  EXPECT_EQ(decoded_config->decode_plane, flow::DecodePlane::kDecoded);
+
+  auto legacy = ParseIni("[execution]\nshards = 2\ndecode_plane = legacy\n");
+  ASSERT_TRUE(legacy.ok());
+  auto legacy_config = LoadExecution(*legacy);
+  ASSERT_TRUE(legacy_config.ok());
+  EXPECT_EQ(legacy_config->decode_plane, flow::DecodePlane::kLegacy);
+  EXPECT_EQ(legacy_config->shards, 2u);
+
+  // Missing key keeps the decoded default; junk is rejected loudly.
+  auto missing = ParseIni("[execution]\nparallelism = 2\n");
+  ASSERT_TRUE(missing.ok());
+  auto missing_config = LoadExecution(*missing);
+  ASSERT_TRUE(missing_config.ok());
+  EXPECT_EQ(missing_config->decode_plane, flow::DecodePlane::kDecoded);
+
+  auto junk = ParseIni("[execution]\ndecode_plane = sideways\n");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(LoadExecution(*junk).ok());
+}
+
 // ---------- round trip into the platform types ----------
 
 TEST(RoundTripTest, FullSpecProducesSchedulableTask) {

@@ -7,10 +7,12 @@
 
 #include <cstring>
 
+#include "cloud/payload_decoder.h"
 #include "core/fl_engine.h"
 #include "core/platform.h"
 #include "data/synth_avazu.h"
 #include "flow/rate_functions.h"
+#include "flow/shard_merger.h"
 
 namespace simdc::core {
 namespace {
@@ -128,10 +130,14 @@ TEST(DeterminismTest, BatchedDeliveryBitIdenticalToPerMessageAtAllWidths) {
 
 /// Everything a sharded run must keep bit-identical across widths:
 /// FlRunResult (round metrics incl. arrival-derived times, weights),
-/// plus the merged dispatch stats (arrival ticks, drops, sends).
+/// the merged dispatch stats (arrival ticks, drops, sends), and the
+/// cloud-side admission counters.
 struct ShardedOutcome {
   FlRunResult result;
   flow::DispatchStats stats;
+  std::size_t messages_received = 0;
+  std::size_t decode_failures = 0;
+  std::size_t stale_rejections = 0;
 };
 
 FlExperimentConfig ShardableConfig() {
@@ -154,6 +160,9 @@ ShardedOutcome RunShardedWith(const data::FederatedDataset& dataset,
   ShardedOutcome out;
   out.result = engine.Run();
   out.stats = engine.dispatch_stats();
+  out.messages_received = engine.aggregation().messages_received();
+  out.decode_failures = engine.aggregation().decode_failures();
+  out.stale_rejections = engine.aggregation().stale_rejections();
   return out;
 }
 
@@ -165,6 +174,13 @@ void ExpectStatsIdentical(const flow::DispatchStats& a,
   EXPECT_EQ(a.batches, b.batches) << "shards=" << shards;
   EXPECT_EQ(a.batch_keys, b.batch_keys) << "shards=" << shards;
   EXPECT_EQ(a.batches_truncated, b.batches_truncated) << "shards=" << shards;
+}
+
+void ExpectCountersIdentical(const ShardedOutcome& a, const ShardedOutcome& b,
+                             std::size_t shards) {
+  EXPECT_EQ(a.messages_received, b.messages_received) << "shards=" << shards;
+  EXPECT_EQ(a.decode_failures, b.decode_failures) << "shards=" << shards;
+  EXPECT_EQ(a.stale_rejections, b.stale_rejections) << "shards=" << shards;
 }
 
 TEST(ShardedDeterminismTest, WidthsBitIdenticalToUnshardedScheduled) {
@@ -279,6 +295,173 @@ TEST(ShardedDeterminismTest, MultiMessageTicksDeterministicAtFixedWidth) {
   for (const auto& round : first.result.rounds) {
     EXPECT_GE(round.time, last);
     last = round.time;
+  }
+}
+
+TEST(ShardedDeterminismTest, DecodedPlaneBitIdenticalToLegacyAtAllWidths) {
+  // The decoded payload plane moves blob fetch + LrModel decode from the
+  // serial AggregationService into the dispatch ticks (shard workers when
+  // sharded). Against the legacy decode-in-handler plane, every bit of
+  // the run — round metrics, weights, merged dispatch stats, admission
+  // counters — must be identical at every shard width. reject_stale plus
+  // a sample threshold makes the message→round admission (and therefore
+  // the deferred-accounting order) observable.
+  const auto dataset = Dataset();
+  auto config = ShardableConfig();
+  config.trigger = cloud::AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 400;
+  config.reject_stale = true;
+
+  auto legacy_config = config;
+  legacy_config.decode_plane = flow::DecodePlane::kLegacy;
+  const auto reference = RunShardedWith(dataset, legacy_config, 1);
+  ASSERT_EQ(reference.result.rounds.size(), 3u);
+  EXPECT_GT(reference.result.messages_dropped, 0u);
+  EXPECT_GT(reference.stale_rejections, 0u);
+  EXPECT_EQ(reference.decode_failures, 0u);
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    auto decoded_config = config;
+    decoded_config.decode_plane = flow::DecodePlane::kDecoded;
+    const auto decoded = RunShardedWith(dataset, decoded_config, shards);
+    ExpectIdentical(reference.result, decoded.result, shards);
+    ExpectStatsIdentical(reference.stats, decoded.stats, shards);
+    ExpectCountersIdentical(reference, decoded, shards);
+    // And legacy stays self-consistent at the same width.
+    const auto legacy = RunShardedWith(dataset, legacy_config, shards);
+    ExpectIdentical(reference.result, legacy.result, shards);
+    ExpectCountersIdentical(reference, legacy, shards);
+  }
+}
+
+// ---------- Decode-failure accounting parity (flow-level harness) ----------
+
+/// Outcome of pushing a hand-built message stream — valid, corrupt-blob,
+/// missing-blob, stale and stale-with-bad-payload messages — through
+/// dispatchers + shard merger into one AggregationService.
+struct FailurePlaneOutcome {
+  std::size_t received = 0;
+  std::size_t decode_failures = 0;
+  std::size_t stale_rejections = 0;
+  std::size_t rounds = 0;
+  std::vector<float> weights;
+};
+
+/// Runs the failure-mix stream at the given shard width on either payload
+/// plane. Messages carry distinct timestamps and globally ordered ids, so
+/// the (tick time, first id, shard) merge reproduces one canonical
+/// delivery order at every width — counters must not depend on width or
+/// plane.
+FailurePlaneOutcome RunFailureMix(std::size_t shards, bool decoded_plane) {
+  constexpr std::uint32_t kDim = 16;
+  constexpr std::size_t kMessages = 24;
+  sim::EventLoop cloud_loop;
+  cloud::BlobStore store;
+  cloud::AggregationConfig agg;
+  agg.model_dim = kDim;
+  agg.trigger = cloud::AggregationTrigger::kSampleThreshold;
+  agg.sample_threshold = 30;  // fires mid-stream: later round-0 msgs stale
+  agg.reject_stale = true;
+  cloud::AggregationService service(cloud_loop, store, agg);
+  cloud::BlobModelDecoder decoder(store);
+
+  flow::ShardMerger merger(shards, &service, &cloud_loop);
+  std::vector<std::unique_ptr<sim::EventLoop>> loops;
+  std::vector<std::unique_ptr<flow::Dispatcher>> dispatchers;
+  for (std::size_t s = 0; s < shards; ++s) {
+    loops.push_back(std::make_unique<sim::EventLoop>());
+    dispatchers.push_back(std::make_unique<flow::Dispatcher>(
+        *loops[s], TaskId(1),
+        flow::RealtimeAccumulated{{1}, 0.0,
+                                  flow::kShardWidthInvariantCapacity},
+        &merger.channel(s), /*seed=*/11));
+    if (decoded_plane) dispatchers[s]->set_decoder(&decoder);
+  }
+
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    flow::Message m;
+    m.id = MessageId(i + 1);
+    m.task = TaskId(1);
+    m.device = DeviceId(i + 1);
+    m.sample_count = 5;
+    switch (i % 6) {
+      case 1:  // corrupt blob, fresh round
+        m.payload = store.Put({std::byte{0x42}});
+        break;
+      case 2:  // missing blob, fresh round
+        m.payload = BlobId(900000 + i);
+        break;
+      case 3: {  // valid payload but a round that is always stale
+        ml::LrModel model(kDim);
+        model.weights()[0] = static_cast<float>(i);
+        m.round = 77;
+        m.payload = store.Put(model.ToBytes());
+        break;
+      }
+      case 4:  // corrupt blob AND always-stale round: must count stale
+        m.round = 99;
+        m.payload = store.Put({std::byte{0x01}, std::byte{0x02}});
+        break;
+      default: {  // valid, round 0 (stale once the threshold fires)
+        ml::LrModel model(kDim);
+        model.weights()[0] = static_cast<float>(i) * 0.5f;
+        m.payload = store.Put(model.ToBytes());
+        break;
+      }
+    }
+    // Contiguous ranges, like data::PartitionDevices for equal blocks.
+    const std::size_t per_shard = (kMessages + shards - 1) / shards;
+    const std::size_t target = std::min(i / per_shard, shards - 1);
+    flow::Dispatcher* dispatcher = dispatchers[target].get();
+    loops[target]->ScheduleAt(
+        Seconds(static_cast<double>(i + 1)),
+        [dispatcher, m]() mutable { dispatcher->OnMessage(std::move(m)); });
+  }
+  for (auto& loop : loops) loop->Run();
+  merger.DrainUpTo(Seconds(static_cast<double>(kMessages + 1)));
+
+  FailurePlaneOutcome out;
+  out.received = service.messages_received();
+  out.decode_failures = service.decode_failures();
+  out.stale_rejections = service.stale_rejections();
+  out.rounds = service.rounds_completed();
+  out.weights.assign(service.global_model().weights().begin(),
+                     service.global_model().weights().end());
+  return out;
+}
+
+TEST(ShardedDeterminismTest, DecodeFailureAccountingParityAcrossPlanes) {
+  // Corrupt-blob and missing-blob messages — fresh and stale — must book
+  // the same decode_failures / stale_rejections on the decoded plane, the
+  // legacy plane, and every sharded merge of either, in the same order
+  // (the deferred-accounting contract of flow::DecodedUpdate).
+  const auto reference = RunFailureMix(1, /*decoded_plane=*/false);
+  // The mix by construction: 4 corrupt/missing fresh-round failures
+  // become decode failures only while their round is fresh; round-77/99
+  // messages and post-aggregation round-0 messages are stale.
+  EXPECT_GT(reference.decode_failures, 0u);
+  EXPECT_GT(reference.stale_rejections, 0u);
+  EXPECT_EQ(reference.received, 24u);
+  EXPECT_GE(reference.rounds, 1u);
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const bool decoded : {false, true}) {
+      if (shards == 1 && !decoded) continue;  // the reference itself
+      const auto outcome = RunFailureMix(shards, decoded);
+      EXPECT_EQ(outcome.received, reference.received)
+          << "shards=" << shards << " decoded=" << decoded;
+      EXPECT_EQ(outcome.decode_failures, reference.decode_failures)
+          << "shards=" << shards << " decoded=" << decoded;
+      EXPECT_EQ(outcome.stale_rejections, reference.stale_rejections)
+          << "shards=" << shards << " decoded=" << decoded;
+      EXPECT_EQ(outcome.rounds, reference.rounds)
+          << "shards=" << shards << " decoded=" << decoded;
+      ASSERT_EQ(outcome.weights.size(), reference.weights.size());
+      EXPECT_EQ(0, std::memcmp(outcome.weights.data(),
+                               reference.weights.data(),
+                               reference.weights.size() * sizeof(float)))
+          << "shards=" << shards << " decoded=" << decoded;
+    }
   }
 }
 
