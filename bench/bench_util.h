@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define SIMDC_BENCH_HAS_RUSAGE 1
+#endif
+
 namespace simdc::bench {
 
 inline void PrintHeader(const std::string& title) {
@@ -102,6 +107,71 @@ class ScopedOpTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-inline void EmitOpTimings() { OpTimings::Instance().Emit(); }
+// ---------------------------------------------------------------------------
+// Peak-RSS accounting. Benches snapshot the process's high-water resident
+// set at interesting points (after each scale-ladder rung, say) and emit
+// `OPRSS <label> <bytes>` lines next to the OPTIME ones; run_all.sh folds
+// them into the BENCH_*.json artifacts as an "rss" map and bench/compare.py
+// warns when a label's bytes grow more than its --rss-threshold between
+// artifact sets. Peak RSS is monotone over a process's life, so a label
+// records the high-water mark *as of* that point — attribute per-phase
+// memory by snapshotting in ascending-footprint order and diffing.
+// ---------------------------------------------------------------------------
+
+/// Peak resident set size of this process in bytes via getrusage; 0 when
+/// the platform offers no rusage.
+inline std::uint64_t PeakRssBytes() {
+#if defined(SIMDC_BENCH_HAS_RUSAGE)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Named byte-quantity registry (peak-RSS snapshots, bytes-per-device
+/// figures). Same-label records max-merge, matching peak semantics.
+class OpRss {
+ public:
+  static OpRss& Instance() {
+    static OpRss rss;
+    return rss;
+  }
+
+  void Record(const std::string& label, std::uint64_t bytes) {
+    std::uint64_t& slot = labels_[label];
+    if (bytes > slot) slot = bytes;
+  }
+
+  /// Records the current process peak RSS under `label`.
+  void RecordPeakNow(const std::string& label) {
+    Record(label, PeakRssBytes());
+  }
+
+  /// One OPRSS line per label, sorted for deterministic layout.
+  void Emit() const {
+    for (const auto& [label, bytes] : labels_) {
+      std::printf("OPRSS %s %llu\n", label.c_str(),
+                  static_cast<unsigned long long>(bytes));
+    }
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> labels_;
+};
+
+/// Emits every recorded OPTIME line plus the OPRSS lines, always including
+/// a `process_peak` RSS stamp so each artifact carries a memory figure even
+/// when the bench recorded no explicit snapshots.
+inline void EmitOpTimings() {
+  OpTimings::Instance().Emit();
+  OpRss::Instance().RecordPeakNow("process_peak");
+  OpRss::Instance().Emit();
+}
 
 }  // namespace simdc::bench

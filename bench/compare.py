@@ -16,6 +16,12 @@ Guards against noise and apples-to-oranges comparisons:
     the two artifact sets were produced on different CPU models or build
     types, since absolute nanoseconds are not comparable across machines.
 
+Memory is compared too: each artifact's "rss" map (peak-RSS snapshots and
+bytes-per-device figures from `OPRSS` lines) is diffed by label, and growth
+beyond --rss-threshold (default 10%) is warned about. RSS warnings never
+fail the run — resident-set numbers depend on allocator behavior and what
+ran earlier in the process, so they are a trend signal, not a gate.
+
 Wall_ms is reported for context but never gates: it includes process startup
 and is far noisier than the per-op timings.
 """
@@ -53,6 +59,10 @@ def main():
     parser.add_argument("--min-total-ns", type=int, default=1_000_000,
                         help="ignore ops whose baseline total_ns is below "
                              "this (default: 1ms)")
+    parser.add_argument("--rss-threshold", type=float, default=0.10,
+                        help="fractional peak-RSS growth per label that "
+                             "draws a warning (default: 0.10 = 10%%; "
+                             "warnings never fail the run)")
     parser.add_argument("--warn-only-on-cpu-mismatch", action="store_true",
                         help="exit 0 despite regressions when baseline and "
                              "current ran on different CPU models or build "
@@ -101,7 +111,9 @@ def main():
     missing = [f"bench {name}" for name in sorted(set(baseline) - set(current))]
     regressions = []
     speedups = []
+    rss_warnings = []
     compared = 0
+    rss_compared = 0
     for name in shared:
         base_ops = baseline[name].get("ops", {})
         cur_ops = current[name].get("ops", {})
@@ -131,6 +143,25 @@ def main():
                 speedups.append((name, op, 1.0 / ratio))
             print(f"  {name}/{op}: {base_ns / 1e3:.1f} us -> "
                   f"{cur_ns / 1e3:.1f} us ({ratio - 1.0:+.0%}){marker}")
+        # Memory trend: peak-RSS labels shared by both artifacts. Growth
+        # beyond --rss-threshold warns; shrink and small drift print quietly.
+        base_rss = baseline[name].get("rss", {})
+        cur_rss = current[name].get("rss", {})
+        for label in sorted(set(base_rss) - set(cur_rss)):
+            missing.append(f"rss {name}/{label}")
+        for label in sorted(set(base_rss) & set(cur_rss)):
+            base_bytes = base_rss[label].get("peak_rss_bytes", 0)
+            cur_bytes = cur_rss[label].get("peak_rss_bytes", 0)
+            if base_bytes <= 0:
+                continue
+            rss_compared += 1
+            ratio = cur_bytes / base_bytes
+            marker = ""
+            if ratio > 1.0 + args.rss_threshold:
+                marker = "  <-- RSS GROWTH (warning)"
+                rss_warnings.append((name, label, base_bytes, cur_bytes, ratio))
+            print(f"  {name}/rss/{label}: {base_bytes / 2**20:.1f} MiB -> "
+                  f"{cur_bytes / 2**20:.1f} MiB ({ratio - 1.0:+.0%}){marker}")
 
     # Summary reports per-op speedup factors, not just pass/fail: the wins
     # are as much a part of the perf trajectory as the regressions.
@@ -143,9 +174,17 @@ def main():
         speedup_note = f"speedups: {shown}"
     else:
         speedup_note = "speedups: none >= 1.05x"
-    print(f"\ncompared {compared} ops across {len(shared)} benches; "
-          f"{len(regressions)} regression(s) beyond "
+    print(f"\ncompared {compared} ops and {rss_compared} rss labels across "
+          f"{len(shared)} benches; {len(regressions)} regression(s) beyond "
           f"{args.threshold:.0%}; {speedup_note}")
+    if rss_warnings:
+        print(f"warning: {len(rss_warnings)} rss label(s) grew beyond "
+              f"{args.rss_threshold:.0%} (memory trend, not a gate):",
+              file=sys.stderr)
+        for name, label, base_bytes, cur_bytes, ratio in rss_warnings:
+            print(f"  {name}/rss/{label}: {base_bytes / 2**20:.1f} MiB -> "
+                  f"{cur_bytes / 2**20:.1f} MiB ({ratio - 1.0:+.0%})",
+                  file=sys.stderr)
     if missing:
         print(f"warning: {len(missing)} baseline entr(y/ies) absent from the "
               f"current run — their regression gates did not run:",

@@ -10,13 +10,19 @@
 #
 #   { "bench": "...", "wall_ms": ..., "exit_code": ..., "commit": "...",
 #     "cpu_model": "...", "ops": {"<op>": {"calls": ..., "total_ns": ...,
-#     "ns_per_call": ...}}, "stdout": [...] }
+#     "ns_per_call": ...}}, "rss": {"<label>": {"peak_rss_bytes": ...}},
+#     "stdout": [...] }
 #
-# "ops" is parsed from `OPTIME <op> <calls> <total_ns>` lines the benches
-# print (see bench_util.h); the commit and CPU stamps make each artifact
-# attributable to a source revision and a machine. These artifacts are the
-# perf baseline later PRs are measured against — bench/compare.py diffs two
-# artifact sets and flags per-op regressions.
+# "ops" is parsed from `OPTIME <op> <calls> <total_ns>` lines and "rss"
+# from `OPRSS <label> <bytes>` lines the benches print (see bench_util.h);
+# the commit and CPU stamps make each artifact attributable to a source
+# revision and a machine. These artifacts are the perf baseline later PRs
+# are measured against — bench/compare.py diffs two artifact sets, flags
+# per-op regressions and warns on per-label RSS growth.
+#
+# The memory-plane scale ladder (bench_fig8_1m_devices) runs its 10k and
+# 100k rungs by default; export SIMDC_BENCH_1M=1 to add the ~GB-scale
+# 1,000,000-device rung.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -86,24 +92,28 @@ for bench in "${benches[@]}"; do
 import json, os, sys
 with open(sys.argv[2]) as f:
     lines = f.read().splitlines()
-# Fold `OPTIME <op> <calls> <total_ns>` lines (bench_util.h) into a per-op
-# timing map; they stay in "stdout" too for human inspection.
+# Fold `OPTIME <op> <calls> <total_ns>` and `OPRSS <label> <bytes>` lines
+# (bench_util.h) into per-op timing / per-label memory maps; they stay in
+# "stdout" too for human inspection.
 ops = {}
+rss = {}
 for line in lines:
-    if not line.startswith("OPTIME "):
-        continue
     fields = line.split()
-    if len(fields) != 4:
-        continue
-    try:
-        calls, total_ns = int(fields[2]), int(fields[3])
-    except ValueError:
-        continue
-    ops[fields[1]] = {
-        "calls": calls,
-        "total_ns": total_ns,
-        "ns_per_call": total_ns / calls if calls else 0.0,
-    }
+    if line.startswith("OPTIME ") and len(fields) == 4:
+        try:
+            calls, total_ns = int(fields[2]), int(fields[3])
+        except ValueError:
+            continue
+        ops[fields[1]] = {
+            "calls": calls,
+            "total_ns": total_ns,
+            "ns_per_call": total_ns / calls if calls else 0.0,
+        }
+    elif line.startswith("OPRSS ") and len(fields) == 3:
+        try:
+            rss[fields[1]] = {"peak_rss_bytes": int(fields[2])}
+        except ValueError:
+            continue
 doc = {
     "bench": os.environ["BENCH_NAME"],
     "build_type": os.environ["BUILD_TYPE"],
@@ -112,6 +122,7 @@ doc = {
     "wall_ms": int(os.environ["WALL_MS"]),
     "exit_code": int(os.environ["EXIT_CODE"]),
     "ops": ops,
+    "rss": rss,
     "stdout": lines,
 }
 with open(sys.argv[1], "w") as f:

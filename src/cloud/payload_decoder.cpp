@@ -13,7 +13,7 @@ flow::DecodedUpdate BlobModelDecoder::Decode(flow::Message message) const {
     update.error = blob.error();
     return update;
   }
-  auto model = ml::LrModel::FromBytesShared(**blob);
+  auto model = ml::LrModel::FromBytesShared(blob->span());
   if (!model.ok()) {
     update.failure = flow::DecodedUpdate::Failure::kUndecodable;
     update.error = model.error();

@@ -1,14 +1,33 @@
 #include "cloud/storage.h"
 
+#include <cstring>
+
 namespace simdc::cloud {
 
 BlobId BlobStore::Put(std::vector<std::byte> bytes) {
-  auto blob = std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  const std::size_t size = bytes.size();
+  auto buffer =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  const std::byte* data = buffer->data();
   std::lock_guard<std::mutex> lock(mutex_);
   const BlobId id(next_id_++);
-  total_bytes_ += blob->size();
-  bytes_written_ += blob->size();
-  blobs_.emplace(id, std::move(blob));
+  total_bytes_ += size;
+  bytes_written_ += size;
+  blobs_.emplace(id, SharedBlob(std::move(buffer), data, size));
+  return id;
+}
+
+BlobId BlobStore::PutPooled(std::span<const std::byte> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteArena::Allocation alloc = arena_.Allocate(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(alloc.data, bytes.data(), bytes.size());
+  }
+  const BlobId id(next_id_++);
+  total_bytes_ += bytes.size();
+  bytes_written_ += bytes.size();
+  blobs_.emplace(id,
+                 SharedBlob(std::move(alloc.block), alloc.data, bytes.size()));
   return id;
 }
 
@@ -18,8 +37,8 @@ Result<std::vector<std::byte>> BlobStore::Get(BlobId id) const {
   if (it == blobs_.end()) {
     return NotFound("blob not found: " + id.ToString());
   }
-  bytes_read_ += it->second->size();
-  return *it->second;
+  bytes_read_ += it->second.size();
+  return std::vector<std::byte>(it->second.begin(), it->second.end());
 }
 
 Result<SharedBlob> BlobStore::GetShared(BlobId id) const {
@@ -28,7 +47,7 @@ Result<SharedBlob> BlobStore::GetShared(BlobId id) const {
   if (it == blobs_.end()) {
     return NotFound("blob not found: " + id.ToString());
   }
-  bytes_read_ += it->second->size();
+  bytes_read_ += it->second.size();
   return it->second;
 }
 
@@ -38,7 +57,7 @@ Status BlobStore::Delete(BlobId id) {
   if (it == blobs_.end()) {
     return NotFound("blob not found: " + id.ToString());
   }
-  total_bytes_ -= it->second->size();
+  total_bytes_ -= it->second.size();
   blobs_.erase(it);
   return Status::Ok();
 }
@@ -46,6 +65,11 @@ Status BlobStore::Delete(BlobId id) {
 bool BlobStore::Contains(BlobId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return blobs_.contains(id);
+}
+
+std::size_t BlobStore::ReclaimArena() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arena_.Reclaim();
 }
 
 std::size_t BlobStore::blob_count() const {
@@ -66,6 +90,16 @@ std::size_t BlobStore::bytes_written() const {
 std::size_t BlobStore::bytes_read() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return bytes_read_;
+}
+
+std::size_t BlobStore::arena_blocks_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arena_.blocks_created();
+}
+
+std::size_t BlobStore::arena_blocks_recycled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arena_.blocks_recycled();
 }
 
 }  // namespace simdc::cloud

@@ -5,6 +5,14 @@
 // retrieve the corresponding data from storage based on the received
 // messages." The blob store is that shared storage: content-addressed by
 // an opaque BlobId carried inside DeviceFlow messages.
+//
+// Memory plane: payload blobs (the O(msgs)-per-round bulk) are packed into
+// a refcounted bump arena (common/arena.h) via PutPooled, so steady-state
+// rounds touch the heap O(1) times; long-lived blobs (published global
+// models) keep the standalone Put path. Both produce the same SharedBlob
+// view type, and both honor the Delete-while-held guarantee — a SharedBlob
+// owns a reference to its backing storage (arena block or standalone
+// buffer), never the other way round.
 #pragma once
 
 #include <cstddef>
@@ -15,23 +23,61 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/ids.h"
 
 namespace simdc::cloud {
 
 /// Shared-ownership view of a stored blob (see BlobStore::GetShared).
-using SharedBlob = std::shared_ptr<const std::vector<std::byte>>;
+/// Value-semantic: copying is one shared_ptr copy, no payload copy. The
+/// owner handle keeps the backing bytes alive — a standalone buffer for
+/// Put blobs, a whole arena block for PutPooled blobs — so the view stays
+/// valid (and bit-stable) across Delete, ReclaimArena, and store
+/// destruction while any holder remains.
+class SharedBlob {
+ public:
+  SharedBlob() = default;
+  SharedBlob(std::shared_ptr<const void> owner, const std::byte* data,
+             std::size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::span<const std::byte> span() const { return {data_, size_}; }
+  const std::byte& operator[](std::size_t i) const { return data_[i]; }
+  const std::byte* begin() const { return data_; }
+  const std::byte* end() const { return data_ + size_; }
+  explicit operator bool() const { return owner_ != nullptr; }
+
+  /// Identity of the backing storage (aliasing assertions in tests).
+  const void* owner() const { return owner_.get(); }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// All operations are thread-safe; blobs are immutable once Put, so a
 /// SharedBlob handed out by GetShared stays valid (and bit-stable) even if
-/// the blob is Deleted or the store destroyed while readers hold it — the
-/// property that lets N shard decoders read concurrently with zero copies
-/// while the serial plane keeps publishing new models.
+/// the blob is Deleted, its arena block reclaimed, or the store destroyed
+/// while readers hold it — the property that lets N shard decoders read
+/// concurrently with zero copies while the serial plane keeps publishing
+/// new models.
 class BlobStore {
  public:
-  /// Stores a blob; returns its id.
+  /// Stores a blob in a standalone buffer; returns its id. The path for
+  /// long-lived blobs (published global models) whose lifetime should not
+  /// pin an arena block.
   BlobId Put(std::vector<std::byte> bytes);
+
+  /// Stores a blob by copying `bytes` into the pooled arena — one bump
+  /// allocation, O(1) amortized heap traffic. The path for per-round
+  /// payload uploads; pair with ReclaimArena at round boundaries so blocks
+  /// whose blobs were all Deleted get recycled instead of freed.
+  BlobId PutPooled(std::span<const std::byte> bytes);
 
   /// Fetches a blob (copy; the store stays authoritative).
   Result<std::vector<std::byte>> Get(BlobId id) const;
@@ -43,6 +89,12 @@ class BlobStore {
   Status Delete(BlobId id);
   bool Contains(BlobId id) const;
 
+  /// Round-boundary arena maintenance: recycles arena blocks that no live
+  /// blob or outstanding SharedBlob references (see ByteArena::Reclaim).
+  /// Returns the number of blocks recycled. Safe to call at any time —
+  /// blocks still referenced are left alone.
+  std::size_t ReclaimArena();
+
   std::size_t blob_count() const;
   /// Total stored bytes (capacity planning / experiment accounting).
   std::size_t total_bytes() const;
@@ -50,10 +102,15 @@ class BlobStore {
   std::size_t bytes_written() const;
   /// Cumulative bytes ever read (download traffic served).
   std::size_t bytes_read() const;
+  /// Arena slabs ever heap-allocated (the O(1)-steady-state gate).
+  std::size_t arena_blocks_created() const;
+  /// Arena blocks recycled by ReclaimArena (cumulative reuse events).
+  std::size_t arena_blocks_recycled() const;
 
  private:
   mutable std::mutex mutex_;
   std::unordered_map<BlobId, SharedBlob> blobs_;
+  ByteArena arena_;
   std::uint64_t next_id_ = 1;
   std::size_t total_bytes_ = 0;
   std::size_t bytes_written_ = 0;

@@ -1,0 +1,67 @@
+#include "common/arena.h"
+
+namespace simdc {
+namespace {
+
+constexpr std::size_t kAlignment = 8;
+
+std::size_t AlignUp(std::size_t n) {
+  return (n + (kAlignment - 1)) & ~(kAlignment - 1);
+}
+
+}  // namespace
+
+ByteArena::Allocation ByteArena::Allocate(std::size_t size) {
+  if (size > block_bytes_) {
+    // Oversized request: dedicated exact-size block, immediately retired
+    // (it can never host a second allocation).
+    auto block = std::make_shared<ArenaBlock>(size);
+    ++blocks_created_;
+    retired_.push_back(block);
+    return {block, block->bytes.get(), size};
+  }
+  const std::size_t aligned = AlignUp(size);
+  if (current_ == nullptr || offset_ + aligned > current_->capacity) {
+    if (current_ != nullptr) retired_.push_back(std::move(current_));
+    if (!free_.empty()) {
+      current_ = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      current_ = std::make_shared<ArenaBlock>(block_bytes_);
+      ++blocks_created_;
+    }
+    offset_ = 0;
+  }
+  std::byte* data = current_->bytes.get() + offset_;
+  offset_ += aligned;
+  return {current_, data, size};
+}
+
+std::size_t ByteArena::Reclaim() {
+  if (current_ != nullptr) {
+    retired_.push_back(std::move(current_));
+    offset_ = 0;
+  }
+  std::size_t recycled = 0;
+  std::vector<std::shared_ptr<ArenaBlock>> still_live;
+  still_live.reserve(retired_.size());
+  for (auto& block : retired_) {
+    // use_count == 1: only the arena's own handle is left — no Allocation
+    // (and therefore no SharedBlob) can still read these bytes.
+    if (block.use_count() == 1 && block->capacity == block_bytes_) {
+      ++recycled;
+      ++blocks_recycled_;
+      if (free_.size() < kMaxFreeBlocks) free_.push_back(std::move(block));
+    } else if (block.use_count() == 1) {
+      // Oversized one-off block: recycle accounting, but never reused.
+      ++recycled;
+      ++blocks_recycled_;
+    } else {
+      still_live.push_back(std::move(block));
+    }
+  }
+  retired_ = std::move(still_live);
+  return recycled;
+}
+
+}  // namespace simdc

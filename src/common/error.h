@@ -186,4 +186,17 @@ inline Error Internal(std::string msg) {
     }                                                              \
   } while (0)
 
+/// Debug-build-only check for hot-path invariants (feature-index bounds in
+/// the ML kernels): active when NDEBUG is not defined, compiled out of
+/// Release builds entirely. A corrupt input (e.g. a quantized blob decoded
+/// against the wrong dimension) must fail loudly in debug runs, never UB.
+#ifndef NDEBUG
+#define SIMDC_DCHECK(cond, msg) SIMDC_CHECK(cond, msg)
+#else
+#define SIMDC_DCHECK(cond, msg) \
+  do {                          \
+    (void)sizeof(cond);         \
+  } while (0)
+#endif
+
 }  // namespace simdc

@@ -326,6 +326,28 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
   } else if (has_section && plane.error().code() != ErrorCode::kNotFound) {
     return plane.error();
   }
+  if (auto codec = GetString(doc, "execution", "payload_codec"); codec.ok()) {
+    const std::string name = Lower(*codec);
+    if (name == "fp32") {
+      config.payload_codec = ml::PayloadCodec::kFp32;
+    } else if (name == "fp16") {
+      config.payload_codec = ml::PayloadCodec::kFp16;
+    } else if (name == "int8") {
+      config.payload_codec = ml::PayloadCodec::kInt8;
+    } else {
+      return InvalidArgument(
+          "[execution] payload_codec must be 'fp32', 'fp16' or 'int8', got '" +
+          *codec + "'");
+    }
+  } else if (has_section && codec.error().code() != ErrorCode::kNotFound) {
+    return codec.error();
+  }
+  if (auto reclaim = GetInt(doc, "execution", "reclaim_payload_blobs");
+      reclaim.ok()) {
+    config.reclaim_payload_blobs = *reclaim != 0;
+  } else if (has_section && reclaim.error().code() != ErrorCode::kNotFound) {
+    return reclaim.error();
+  }
   return config;
 }
 

@@ -46,6 +46,7 @@
 #include "common/error.h"
 #include "flow/decoded_update.h"
 #include "flow/strategy.h"
+#include "ml/lr_model.h"
 #include "sched/task.h"
 
 namespace simdc::config {
@@ -107,10 +108,22 @@ struct ExecutionConfig {
   /// reference). Bit-identical results either way
   /// (FlExperimentConfig::decode_plane semantics).
   flow::DecodePlane decode_plane = flow::DecodePlane::kDecoded;
+  /// Wire precision for device→cloud update payloads: fp32 (default —
+  /// bit-identical to the historical format), fp16 (~2× smaller), or int8
+  /// (per-tensor scale, ~4× smaller). Quantized payloads trade a bounded
+  /// amount of update precision for memory/bandwidth at million-device
+  /// scale (FlExperimentConfig::payload_codec semantics).
+  ml::PayloadCodec payload_codec = ml::PayloadCodec::kFp32;
+  /// When set, the engine deletes each round's update payload blobs at the
+  /// round boundary and recycles the BlobStore arena, bounding steady-state
+  /// blob memory to one round's working set. Off by default to preserve
+  /// historical post-run storage accounting.
+  bool reclaim_payload_blobs = false;
 };
 
 /// Reads [execution] (parallelism = N, shards = N,
-/// decode_plane = decoded|legacy). A missing section or key yields the
+/// decode_plane = decoded|legacy, payload_codec = fp32|fp16|int8,
+/// reclaim_payload_blobs = 0|1). A missing section or key yields the
 /// defaults; malformed or negative values are rejected.
 Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
 

@@ -199,6 +199,16 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     return;
   }
   ++rounds_started_;
+  // Reclaim the previous round's payload blobs before emitting this
+  // round's: bounds blob memory to one round's working set. Stragglers
+  // still in flight lose their payloads (see FlExperimentConfig).
+  if (config_.reclaim_payload_blobs && !round_blob_ids_.empty()) {
+    for (const BlobId id : round_blob_ids_) {
+      (void)storage_.Delete(id);
+    }
+    round_blob_ids_.clear();
+    (void)storage_.ReclaimArena();
+  }
   if (sharded()) {
     // Round-start runs as a shard-loop EVENT, not synchronously: called
     // directly, the pump for leftover shelf messages (multi-message
@@ -239,19 +249,13 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   // Train every participant from the current global model. Work is
   // CPU-parallel but deterministic: each device's result depends only on
   // (global model, shard, seeds), never on execution order.
-  struct Trained {
-    std::vector<std::byte> bytes;
-    std::size_t samples = 0;
-    SimDuration delay = 0;
-    DeviceId device;
-  };
   const ml::LrModel& global = service_->global_model();
   const auto logical_cut = static_cast<std::size_t>(
       config_.logical_fraction * static_cast<double>(n) + 0.5);
-  // Results are consumed synchronously below (bytes move to storage at
-  // schedule time), so a plain local suffices — upload closures no longer
-  // keep the training buffers alive.
-  std::vector<Trained> results(participants.size());
+  // Member scratch: the per-slot payload buffers persist across rounds, so
+  // steady-state rounds reuse them instead of reallocating O(dim) each.
+  std::vector<TrainedUpdate>& results = train_scratch_;
+  results.resize(participants.size());
 
   auto train_one = [&, this](std::size_t slot) {
     const std::size_t device_index = participants[slot];
@@ -268,8 +272,9 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
         SplitMix64(config_.seed ^ (device_index * 1000003ULL + round));
     op->Train(local, shard.examples, train);
 
-    Trained& out = results[slot];
-    out.bytes = local.ToBytes();
+    TrainedUpdate& out = results[slot];
+    out.bytes.resize(local.EncodedSize(config_.payload_codec));
+    local.EncodeTo(out.bytes, config_.payload_codec);
     out.samples = shard.examples.size();
     out.device = shard.device;
     Rng delay_rng = Rng(config_.seed).Split(device_index ^ (round << 20));
@@ -307,7 +312,7 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   // single-loop FIFO tie-breaks.
   std::vector<std::vector<sim::TimedEvent>> shard_uploads(shards_.size());
   for (std::size_t slot = 0; slot < participants.size(); ++slot) {
-    Trained& trained = results[slot];
+    TrainedUpdate& trained = results[slot];
     max_delay = std::max(max_delay, trained.delay);
     const SimTime when = t0 + trained.delay;
     flow::Message message;
@@ -316,7 +321,22 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     message.device = trained.device;
     message.round = aggregation_round;
     message.payload_bytes = static_cast<std::int64_t>(trained.bytes.size());
-    message.payload = storage_.Put(std::move(trained.bytes));
+    if (config_.reclaim_payload_blobs) {
+      // Pooled put: the payload is copied into the store's arena, leaving
+      // the scratch buffer in place for the next round's encode. Round-
+      // boundary reclamation recycles the slabs, so steady-state rounds
+      // touch the allocator O(1) times. Pooling is only a win WITH
+      // reclamation — without it the arena would grow one cold slab per
+      // ~16 payloads with no reuse, paying fresh-page faults the
+      // hand-over-by-move path below never incurs.
+      message.payload = storage_.PutPooled(trained.bytes);
+      round_blob_ids_.push_back(message.payload);
+    } else {
+      // Keep-everything mode: hand the encode buffer to the store whole
+      // (the historical allocation pattern). The scratch slot reallocates
+      // next round, but nothing is copied.
+      message.payload = storage_.Put(std::move(trained.bytes));
+    }
     message.sample_count = trained.samples;
     message.created = when;  // == loop time when the upload event fires
     ++result_.messages_emitted;

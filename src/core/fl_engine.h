@@ -94,6 +94,31 @@ struct FlExperimentConfig {
   /// parallelism to amortize it; fig8_decoded_shards_* measures this), so
   /// pin kLegacy for single-core batch farms if wall time there matters.
   flow::DecodePlane decode_plane = flow::DecodePlane::kDecoded;
+  /// Wire precision of device→cloud update payload blobs (spec:
+  /// [execution] payload_codec = fp32 | fp16 | int8). kFp32 (default)
+  /// keeps the historical format bit-for-bit, so results match the
+  /// pre-codec engine exactly. kFp16 / kInt8 shrink payload bytes ~2×/~4×
+  /// (BlobStore::bytes_written reflects it) at the cost of quantizing each
+  /// update once on the device side; dequantization runs in the parallel
+  /// decode plane. Any codec is deterministic and width-invariant — the
+  /// quantize→dequantize round trip is a pure function of the update, so
+  /// all shard widths see identical dequantized models.
+  ml::PayloadCodec payload_codec = ml::PayloadCodec::kFp32;
+  /// Bound steady-state blob memory to one round's working set: at each
+  /// round start the engine deletes the previous round's update payload
+  /// blobs and recycles the BlobStore arena (published global-model blobs
+  /// are untouched). SharedBlob holders keep their bytes alive (arena
+  /// blocks are refcounted), but a straggler message delivered after its
+  /// round's reclaim finds its payload missing and is dropped as a decode
+  /// failure instead of a stale rejection — identical at every shard width
+  /// (in-flight sets are width-invariant), but not byte-identical to a
+  /// run without reclaim when stragglers exist. This knob also selects the
+  /// storage path: with reclaim on, payloads are arena-pooled
+  /// (BlobStore::PutPooled) and the slabs recycle each round; with it off
+  /// every payload gets its own buffer (BlobStore::Put by move — the
+  /// historical pattern), since an arena that is never reclaimed only adds
+  /// cold slabs. Off by default; the million-device ladder turns it on.
+  bool reclaim_payload_blobs = false;
   cloud::AggregationTrigger trigger = cloud::AggregationTrigger::kScheduled;
   std::size_t sample_threshold = 1000;
   SimDuration schedule_period = Seconds(60.0);
@@ -221,6 +246,21 @@ class FlEngine {
   std::vector<FleetShard> shards_;
   Rng rng_;
   FlRunResult result_;
+  /// Per-participant training output for the round in flight. A member so
+  /// the O(dim) payload buffers are recycled across rounds: under
+  /// reclaim_payload_blobs the encode → PutPooled path does zero
+  /// steady-state heap allocations per round (without reclaim the buffers
+  /// move into the store and the slots reallocate, the historical cost).
+  struct TrainedUpdate {
+    std::vector<std::byte> bytes;
+    std::size_t samples = 0;
+    SimDuration delay = 0;
+    DeviceId device;
+  };
+  std::vector<TrainedUpdate> train_scratch_;
+  /// Payload blob ids created for the round in flight; tracked (and
+  /// deleted at the next round start) only under reclaim_payload_blobs.
+  std::vector<BlobId> round_blob_ids_;
   std::size_t rounds_started_ = 0;
   std::size_t last_recorded_round_ = 0;
   /// Training-set evaluation pool (capped union of device shards).

@@ -1,0 +1,81 @@
+#include "device/fleet_store.h"
+
+namespace simdc::device {
+
+std::size_t FleetStore::Add(std::uint64_t id, std::size_t grade_index,
+                            std::size_t locality_index) {
+  SIMDC_CHECK(grade_index < kNumGrades, "FleetStore: bad grade index");
+  SIMDC_CHECK(locality_index < kNumLocalities,
+              "FleetStore: bad locality index");
+  SIMDC_CHECK(!slot_of_.contains(id),
+              "FleetStore: id already registered: " << id);
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    id_[slot] = id;
+    grade_[slot] = static_cast<std::uint8_t>(grade_index);
+    locality_[slot] = static_cast<std::uint8_t>(locality_index);
+    busy_[slot] = 0;
+    live_bits_[slot] = 1;
+    reg_seq_[slot] = next_seq_;
+    owner_[slot] = TaskId();
+    counters_[slot] = PhonePerfCounters{};
+  } else {
+    slot = id_.size();
+    id_.push_back(id);
+    grade_.push_back(static_cast<std::uint8_t>(grade_index));
+    locality_.push_back(static_cast<std::uint8_t>(locality_index));
+    busy_.push_back(0);
+    live_bits_.push_back(1);
+    reg_seq_.push_back(next_seq_);
+    owner_.emplace_back();
+    counters_.emplace_back();
+  }
+  slot_of_.emplace(id, slot);
+  ++next_seq_;
+  ++live_;
+  ++total_[grade_index][locality_index];
+  idle_[grade_index][locality_index].emplace(reg_seq_[slot], slot);
+  return slot;
+}
+
+void FleetStore::Remove(std::size_t slot) {
+  SIMDC_CHECK(slot < id_.size() && live_bits_[slot] != 0,
+              "FleetStore: removing dead slot " << slot);
+  SIMDC_CHECK(busy_[slot] == 0, "FleetStore: removing busy slot " << slot);
+  const std::size_t g = grade_[slot];
+  const std::size_t l = locality_[slot];
+  idle_[g][l].erase({reg_seq_[slot], slot});
+  --total_[g][l];
+  --live_;
+  live_bits_[slot] = 0;
+  slot_of_.erase(id_[slot]);
+  free_slots_.push_back(slot);
+}
+
+void FleetStore::SetBusy(std::size_t slot, bool busy) {
+  SIMDC_CHECK(slot < id_.size() && live_bits_[slot] != 0,
+              "FleetStore: busy bit on dead slot " << slot);
+  if ((busy_[slot] != 0) == busy) return;
+  busy_[slot] = busy ? 1 : 0;
+  const std::size_t g = grade_[slot];
+  const std::size_t l = locality_[slot];
+  if (busy) {
+    idle_[g][l].erase({reg_seq_[slot], slot});
+  } else {
+    idle_[g][l].emplace(reg_seq_[slot], slot);
+  }
+}
+
+void FleetStore::SelectIdle(std::size_t grade_index, std::size_t count,
+                            std::vector<std::size_t>& out) const {
+  for (const auto& locality_set : idle_[grade_index]) {
+    for (const auto& [seq, slot] : locality_set) {
+      if (out.size() == count) return;
+      out.push_back(slot);
+    }
+  }
+}
+
+}  // namespace simdc::device

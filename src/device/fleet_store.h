@@ -1,0 +1,130 @@
+// Struct-of-arrays store for the hot per-phone scheduling state.
+//
+// PhoneMgr's selection, counting and ownership queries used to chase one
+// heap-allocated Phone object per device; at million-device fleets that is
+// a pointer dereference (and a cache miss) per phone per query. FleetStore
+// keeps the scheduling-hot state — grade, locality, busy bit, owning task,
+// perf counters — in contiguous parallel arrays indexed by a dense slot,
+// so scans touch a few packed bytes per phone. Cold per-phone state (the
+// Phone state machine, its ADB server) stays in slot-aligned side arrays
+// owned by PhoneMgr; the store is the single authority for which slots are
+// live, idle and selectable.
+//
+// Slots are reused: unregistering tombstones a slot (O(log n), no vector
+// shift, no index rebuild) and a later registration may fill it. Selection
+// order is preserved across reuse by keying the idle free-lists on a
+// monotonically increasing registration sequence, not the slot number —
+// exactly the "prefer local, then registration order" scan the historical
+// per-object manager performed, now O(count log n) over set views of the
+// SoA arrays.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "device/grade.h"
+
+namespace simdc::device {
+
+/// Per-phone lifetime counters, maintained by PhoneMgr as jobs run.
+struct PhonePerfCounters {
+  std::uint32_t jobs_assigned = 0;
+  std::uint32_t rounds_completed = 0;
+  std::uint32_t crashes = 0;
+  std::uint32_t samples_recorded = 0;
+};
+
+class FleetStore {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kNumLocalities = 2;  // 0 = local, 1 = MSP
+
+  /// Registers a phone; returns its dense slot (a tombstoned slot is
+  /// reused when one is free, else the arrays grow by one).
+  /// Precondition: `id` is not currently registered.
+  std::size_t Add(std::uint64_t id, std::size_t grade_index,
+                  std::size_t locality_index);
+
+  /// Tombstones a live, idle slot so it can be reused.
+  /// Precondition: `slot` is live and not busy.
+  void Remove(std::size_t slot);
+
+  /// Dense slot of a registered phone id; npos when unknown.
+  std::size_t SlotOf(std::uint64_t id) const {
+    const auto it = slot_of_.find(id);
+    return it == slot_of_.end() ? npos : it->second;
+  }
+
+  /// Live phones (excludes tombstones).
+  std::size_t live_count() const { return live_; }
+  /// Array extent: live slots plus tombstones awaiting reuse. Iterate
+  /// [0, slot_count()) and filter with live() for a full-fleet walk.
+  std::size_t slot_count() const { return id_.size(); }
+
+  bool live(std::size_t slot) const { return live_bits_[slot] != 0; }
+  std::uint64_t id(std::size_t slot) const { return id_[slot]; }
+  std::size_t grade(std::size_t slot) const { return grade_[slot]; }
+  std::size_t locality(std::size_t slot) const { return locality_[slot]; }
+  bool busy(std::size_t slot) const { return busy_[slot] != 0; }
+  TaskId owner(std::size_t slot) const { return owner_[slot]; }
+
+  /// Flips the busy bit, moving the slot out of (or back into) the idle
+  /// free-lists. Idempotent for same-value writes.
+  void SetBusy(std::size_t slot, bool busy);
+  void SetOwner(std::size_t slot, TaskId owner) { owner_[slot] = owner; }
+
+  const PhonePerfCounters& counters(std::size_t slot) const {
+    return counters_[slot];
+  }
+  PhonePerfCounters& counters(std::size_t slot) { return counters_[slot]; }
+
+  std::size_t CountIdle(std::size_t grade_index) const {
+    std::size_t n = 0;
+    for (const auto& locality_set : idle_[grade_index]) {
+      n += locality_set.size();
+    }
+    return n;
+  }
+  std::size_t CountTotal(std::size_t grade_index) const {
+    std::size_t n = 0;
+    for (std::size_t l = 0; l < kNumLocalities; ++l) {
+      n += total_[grade_index][l];
+    }
+    return n;
+  }
+
+  /// Appends up to `count` idle slots of `grade_index` to `out`: local
+  /// phones before MSP, registration order within each locality.
+  void SelectIdle(std::size_t grade_index, std::size_t count,
+                  std::vector<std::size_t>& out) const;
+
+ private:
+  /// Parallel SoA arrays, all indexed by slot.
+  std::vector<std::uint64_t> id_;
+  std::vector<std::uint8_t> grade_;
+  std::vector<std::uint8_t> locality_;
+  std::vector<std::uint8_t> busy_;
+  std::vector<std::uint8_t> live_bits_;
+  /// Registration sequence: strictly increasing across Add calls, so idle
+  /// ordering survives slot reuse.
+  std::vector<std::uint64_t> reg_seq_;
+  std::vector<TaskId> owner_;
+  std::vector<PhonePerfCounters> counters_;
+
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;
+  /// Idle free-lists per (grade, locality), ordered by (reg_seq, slot) —
+  /// views over the SoA arrays, never the other way around.
+  std::set<std::pair<std::uint64_t, std::size_t>> idle_[kNumGrades]
+                                                       [kNumLocalities];
+  std::size_t total_[kNumGrades][kNumLocalities] = {};
+  std::vector<std::size_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace simdc::device

@@ -23,15 +23,19 @@ void CloudEndpoint::DeliverDecodedBatch(std::span<const DecodedUpdate> updates,
 }
 
 std::vector<Message> Shelf::Take(std::size_t count) {
+  std::vector<Message> taken;
+  TakeInto(count, taken);
+  return taken;
+}
+
+void Shelf::TakeInto(std::size_t count, std::vector<Message>& out) {
   const std::size_t n = std::min(count, messages_.size());
   // Bulk range move + single erase instead of n front-pops: the deque
   // shrinks in one splice-like pass.
-  std::vector<Message> taken;
-  taken.reserve(n);
+  out.reserve(out.size() + n);
   const auto end = messages_.begin() + static_cast<std::ptrdiff_t>(n);
-  std::move(messages_.begin(), end, std::back_inserter(taken));
+  std::move(messages_.begin(), end, std::back_inserter(out));
   messages_.erase(messages_.begin(), end);
-  return taken;
 }
 
 Dispatcher::Dispatcher(sim::EventLoop& loop, TaskId task,
@@ -172,8 +176,14 @@ bool Dispatcher::TransmissionDrop(const Message& message,
 
 void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
                                std::size_t random_discard) {
-  auto batch = shelf_.Take(count);
-  if (batch.empty()) return;
+  // Every vector this tick touches comes from (and returns to) the
+  // dispatcher's buffer pool; steady-state ticks allocate nothing.
+  std::vector<Message> batch = tick_pool_->messages.Acquire();
+  shelf_.TakeInto(count, batch);
+  if (batch.empty()) {
+    tick_pool_->messages.Release(std::move(batch));
+    return;
+  }
   const SimTime now = loop_.Now();
   // Log key for this tick (see DispatchStats::batch_keys); captured
   // before drops and moves below can disturb the batch.
@@ -186,13 +196,14 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
         rng_.SampleWithoutReplacement(batch.size(), discard);
     std::vector<bool> dead(batch.size(), false);
     for (std::size_t v : victims) dead[v] = true;
-    std::vector<Message> survivors;
-    survivors.reserve(batch.size() - discard);
+    std::vector<Message> kept = tick_pool_->messages.Acquire();
+    kept.reserve(batch.size() - discard);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (!dead[i]) survivors.push_back(std::move(batch[i]));
+      if (!dead[i]) kept.push_back(std::move(batch[i]));
     }
     stats_.dropped += discard;
-    batch = std::move(survivors);
+    std::swap(batch, kept);
+    tick_pool_->messages.Release(std::move(kept));
   }
 
   // Capacity limit: each message occupies one 1/capacity slot on the
@@ -217,8 +228,8 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
   // RNG draw order, identical next_send_time_ arithmetic, identical stats.
   // They differ only in how the survivors reach the event loop below.
   std::size_t sent = 0;
-  std::vector<Message> survivors;
-  std::vector<SimTime> arrivals;
+  std::vector<Message> survivors = tick_pool_->messages.Acquire();
+  std::vector<SimTime> arrivals = tick_pool_->arrivals.Acquire();
   const bool batched =
       delivery_mode_ == DeliveryMode::kBatched && downstream_ != nullptr;
   next_send_time_ = std::max(next_send_time_, now);
@@ -232,7 +243,7 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
       arrivals.push_back(next_send_time_);
       next_send_time_ += per_message;
     }
-    survivors = std::move(batch);
+    std::swap(survivors, batch);
   } else {
     if (batched) {
       survivors.reserve(batch.size());
@@ -267,8 +278,12 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
     // sink in a single DeliverBatch call at the window's first arrival,
     // carrying the exact per-message arrival stamps the per-message path
     // would have delivered at. Round fan-in is O(ticks), not O(messages).
+    // Delivery events return their buffers to the pool after the sink
+    // consumed them; the shared_ptr keeps the pool alive even if this
+    // dispatcher is removed before the event fires.
     const SimTime first = arrivals.front();
     CloudEndpoint* sink = downstream_;
+    std::shared_ptr<TickBufferPool> pool = tick_pool_;
     if (decoder_ != nullptr) {
       // Decoded plane: fetch + decode every survivor NOW, at tick time —
       // on the shard loop's worker thread when fleets advance in lockstep
@@ -276,24 +291,35 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
       // the serial side never touches storage. Blobs are immutable once
       // Put, so decoding ahead of the delivery timestamp observes the
       // same bytes; failures ride along for deferred accounting.
-      std::vector<DecodedUpdate> decoded;
+      std::vector<DecodedUpdate> decoded = tick_pool_->decoded.Acquire();
       decoded.reserve(survivors.size());
       for (Message& message : survivors) {
         decoded.push_back(decoder_->Decode(std::move(message)));
       }
-      loop_.ScheduleAt(first, [sink, decoded = std::move(decoded),
-                               arrivals = std::move(arrivals)] {
+      tick_pool_->messages.Release(std::move(survivors));
+      loop_.ScheduleAt(first, [sink, pool = std::move(pool),
+                               decoded = std::move(decoded),
+                               arrivals = std::move(arrivals)]() mutable {
         sink->DeliverDecodedBatch(std::span<const DecodedUpdate>(decoded),
                                   std::span<const SimTime>(arrivals));
+        pool->decoded.Release(std::move(decoded));
+        pool->arrivals.Release(std::move(arrivals));
       });
     } else {
-      loop_.ScheduleAt(first, [sink, survivors = std::move(survivors),
-                               arrivals = std::move(arrivals)] {
+      loop_.ScheduleAt(first, [sink, pool = std::move(pool),
+                               survivors = std::move(survivors),
+                               arrivals = std::move(arrivals)]() mutable {
         sink->DeliverBatch(std::span<const Message>(survivors),
                            std::span<const SimTime>(arrivals));
+        pool->messages.Release(std::move(survivors));
+        pool->arrivals.Release(std::move(arrivals));
       });
     }
+  } else {
+    tick_pool_->messages.Release(std::move(survivors));
+    tick_pool_->arrivals.Release(std::move(arrivals));
   }
+  tick_pool_->messages.Release(std::move(batch));
   stats_.sent += sent;
   if (stats_.batches.size() < batch_log_cap_) {
     stats_.batches.emplace_back(now, sent);

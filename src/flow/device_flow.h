@@ -26,6 +26,7 @@
 #include "flow/decoded_update.h"
 #include "flow/message.h"
 #include "flow/strategy.h"
+#include "flow/tick_pool.h"
 #include "sim/event_loop.h"
 
 namespace simdc::flow {
@@ -105,6 +106,10 @@ class Shelf {
   /// Removes and returns up to `count` oldest messages.
   std::vector<Message> Take(std::size_t count);
 
+  /// Allocation-free Take: appends up to `count` oldest messages to `out`
+  /// (typically a recycled TickBufferPool buffer with warm capacity).
+  void TakeInto(std::size_t count, std::vector<Message>& out);
+
   std::size_t size() const { return messages_.size(); }
   bool empty() const { return messages_.empty(); }
 
@@ -155,6 +160,13 @@ class Dispatcher {
   /// Bounds DispatchStats::batches (default kDefaultBatchLogCap).
   void set_batch_log_cap(std::size_t cap) { batch_log_cap_ = cap; }
 
+  /// Tick-buffer recycling telemetry: how many buffer acquisitions across
+  /// all kinds were served from the pool instead of the heap.
+  std::size_t tick_buffer_reuses() const {
+    return tick_pool_->messages.reuses() + tick_pool_->arrivals.reuses() +
+           tick_pool_->decoded.reuses();
+  }
+
  private:
   /// Takes up to `count` from the shelf, applies dropout, rate-limits
   /// delivery to the downstream endpoint.
@@ -184,6 +196,11 @@ class Dispatcher {
   std::uint64_t drop_seed_;
   Shelf shelf_;
   DispatchStats stats_;
+  /// Recycled tick buffers (see flow/tick_pool.h). shared_ptr: in-flight
+  /// delivery events return their buffers through it and may outlive the
+  /// dispatcher when a task is removed mid-tick.
+  std::shared_ptr<TickBufferPool> tick_pool_ =
+      std::make_shared<TickBufferPool>();
   DeliveryMode delivery_mode_;
   std::size_t batch_log_cap_ = kDefaultBatchLogCap;
   /// Pending OnRoundEnd time-point/slot events (their closures capture

@@ -4,6 +4,14 @@
 // epochs) because "the industry currently favors simpler and more efficient
 // models for CTR prediction in edge-cloud scenarios". The model is a dense
 // weight vector over the feature-hashing space plus a bias.
+//
+// Payload codecs: device→cloud update blobs can be serialized at three
+// precisions (FlExperimentConfig::payload_codec). kFp32 is the historical
+// wire format, byte-identical to what ToBytes always produced; kFp16 and
+// kInt8 (per-tensor scale) cut payload bytes 2×/4× for the million-device
+// memory plane, with dequantization running in the parallel decode plane
+// (cloud::BlobModelDecoder → FromBytesShared). Decoding auto-detects the
+// codec from the blob header, so mixed-codec stores decode uniformly.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +27,19 @@
 
 namespace simdc::ml {
 
+/// Wire precision of a serialized model blob.
+enum class PayloadCodec : std::uint8_t {
+  /// dim:u32, bias:f32, weights:dim×f32 — the historical format, bit-
+  /// identical to pre-codec blobs (no header tag, for compatibility).
+  kFp32 = 0,
+  /// IEEE 754 half-precision weights (round-to-nearest-even): ~2× smaller.
+  kFp16 = 1,
+  /// Symmetric per-tensor int8: scale = max|w|/127, w ≈ q·scale: ~4× smaller.
+  kInt8 = 2,
+};
+
+const char* ToString(PayloadCodec codec);
+
 class LrModel {
  public:
   explicit LrModel(std::uint32_t dim) : weights_(dim, 0.0f) {}
@@ -28,7 +49,12 @@ class LrModel {
   /// Raw score (log-odds) for an example.
   double Score(const data::Example& example) const {
     double s = bias_;
-    for (std::uint32_t idx : example.features) s += weights_[idx];
+    for (std::uint32_t idx : example.features) {
+      SIMDC_DCHECK(idx < weights_.size(),
+                   "LrModel::Score: feature index " << idx
+                       << " out of range for dim " << weights_.size());
+      s += weights_[idx];
+    }
     return s;
   }
 
@@ -50,13 +76,19 @@ class LrModel {
   /// L2 distance to another model (same dim required).
   double DistanceTo(const LrModel& other) const;
 
-  /// Wire format: dim, bias, weights — the blob devices upload to storage.
-  std::vector<std::byte> ToBytes() const;
+  /// Wire format (see PayloadCodec) — the blob devices upload to storage.
+  std::vector<std::byte> ToBytes(PayloadCodec codec = PayloadCodec::kFp32) const;
+  /// Serializes in place into `out`, which must be exactly
+  /// EncodedSize(codec) bytes — the zero-allocation path the engine uses to
+  /// write payloads straight into reusable per-device scratch buffers.
+  void EncodeTo(std::span<std::byte> out, PayloadCodec codec) const;
+  /// Codec-aware decode: auto-detects the wire format from the header.
   static Result<LrModel> FromBytes(std::span<const std::byte> bytes);
   /// Shared-ownership decode — the entry point of the parallel payload
   /// plane (flow::DecodedUpdate). Same validation and bits as FromBytes;
   /// the shared_ptr lets a decoded model travel the shard merge plane and
-  /// be buffered/re-queued without O(dim) copies.
+  /// be buffered/re-queued without O(dim) copies. For kFp16/kInt8 blobs
+  /// this is where dequantization runs — on the shard workers, in parallel.
   static Result<std::shared_ptr<const LrModel>> FromBytesShared(
       std::span<const std::byte> bytes);
 
@@ -65,6 +97,8 @@ class LrModel {
     return sizeof(std::uint32_t) + sizeof(float) +
            weights_.size() * sizeof(float);
   }
+  /// Serialized size under `codec`.
+  std::size_t EncodedSize(PayloadCodec codec) const;
 
  private:
   std::vector<float> weights_;

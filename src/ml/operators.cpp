@@ -30,6 +30,8 @@ void ServerLrOperator::Train(LrModel& model,
   // the update writes every example. The bias stays a float between
   // examples, exactly as when it round-tripped through the model.
   float* const weights = model.weights().data();
+  const std::size_t weight_dim = model.weights().size();
+  (void)weight_dim;  // referenced only by the debug-build bounds check
   float bias = model.bias();
   const double learning_rate = config.learning_rate;
   std::vector<std::size_t> order(examples.size());
@@ -40,6 +42,9 @@ void ServerLrOperator::Train(LrModel& model,
       // Double-precision forward pass, canonical feature order.
       double score = static_cast<double>(bias);
       for (std::uint32_t idx : example.features) {
+        SIMDC_DCHECK(idx < weight_dim,
+                     "ServerLrOperator::Train: feature index "
+                         << idx << " out of range for dim " << weight_dim);
         score += static_cast<double>(weights[idx]);
       }
       const double probability = 1.0 / (1.0 + std::exp(-score));
@@ -64,6 +69,8 @@ void MobileLrOperator::Train(LrModel& model,
   // divergence Fig. 6 quantifies.
   Rng rng(SplitMix64(config.shuffle_seed ^ 0x4D4F42494C45ULL));
   float* const weights = model.weights().data();
+  const std::size_t weight_dim = model.weights().size();
+  (void)weight_dim;  // referenced only by the debug-build bounds check
   float bias = model.bias();
   // The double→float learning-rate conversion happened once per example;
   // it is loop-invariant, so do it once per call.
@@ -78,6 +85,10 @@ void MobileLrOperator::Train(LrModel& model,
       // different accumulation order a fused mobile kernel produces.
       float score = bias;
       for (std::size_t k = features.size(); k-- > 0;) {
+        SIMDC_DCHECK(features[k] < weight_dim,
+                     "MobileLrOperator::Train: feature index "
+                         << features[k] << " out of range for dim "
+                         << weight_dim);
         score += weights[features[k]];
       }
       // expf: the mobile math library's single-precision exponential.

@@ -14,43 +14,20 @@ constexpr double kClosureSeconds = 15.0;  // Table I stage 5: 0.25 min
 
 }  // namespace
 
-std::size_t PhoneMgr::IndexOf(PhoneId id) const {
-  const auto it = index_.find(id.value());
-  return it == index_.end() ? npos : it->second;
-}
-
-void PhoneMgr::RebuildIndex() {
-  index_.clear();
-  for (auto& grade_sets : idle_) {
-    for (auto& locality_set : grade_sets) locality_set.clear();
-  }
-  for (auto& totals : total_) totals[0] = totals[1] = 0;
-  for (std::size_t i = 0; i < phones_.size(); ++i) {
-    const auto& spec = phones_[i].phone->spec();
-    index_.emplace(spec.id.value(), i);
-    const std::size_t g = GradeIndex(spec.grade);
-    const std::size_t l = LocalityIndex(spec);
-    ++total_[g][l];
-    if (!phones_[i].phone->busy()) idle_[g][l].insert(i);
-  }
-}
-
 PhoneId PhoneMgr::RegisterPhone(const PhoneSpec& spec) {
   // First registration wins: a second phone with the same id would be
   // unreachable through every id-keyed path (FindPhone, MarkBusy,
   // ReleasePhone) and would desynchronize the idle free-lists, so it is
   // not admitted at all.
-  if (index_.contains(spec.id.value())) return spec.id;
-  Entry entry;
-  entry.phone = std::make_unique<Phone>(spec, loop_.clock());
-  entry.adb = std::make_unique<adb::AdbServer>(*entry.phone);
-  phones_.push_back(std::move(entry));
-  const std::size_t index = phones_.size() - 1;
-  index_.emplace(spec.id.value(), index);
-  const std::size_t g = GradeIndex(spec.grade);
-  const std::size_t l = LocalityIndex(spec);
-  ++total_[g][l];
-  idle_[g][l].insert(index);
+  if (store_.SlotOf(spec.id.value()) != npos) return spec.id;
+  const std::size_t slot =
+      store_.Add(spec.id.value(), GradeIndex(spec.grade), LocalityIndex(spec));
+  if (slot == phone_slots_.size()) {
+    phone_slots_.emplace_back();
+    adb_slots_.emplace_back();
+  }
+  phone_slots_[slot] = std::make_unique<Phone>(spec, loop_.clock());
+  adb_slots_[slot] = std::make_unique<adb::AdbServer>(*phone_slots_[slot]);
   return spec.id;
 }
 
@@ -59,78 +36,55 @@ void PhoneMgr::RegisterFleet(const std::vector<PhoneSpec>& fleet) {
 }
 
 Status PhoneMgr::UnregisterPhone(PhoneId id) {
-  const std::size_t index = IndexOf(id);
-  if (index == npos) return NotFound("unknown phone " + id.ToString());
-  if (phones_[index].phone->busy()) {
+  const std::size_t slot = store_.SlotOf(id.value());
+  if (slot == npos) return NotFound("unknown phone " + id.ToString());
+  if (store_.busy(slot)) {
     return FailedPrecondition("cannot unregister busy phone " +
                               id.ToString());
   }
-  phones_.erase(phones_.begin() + static_cast<std::ptrdiff_t>(index));
-  // Scale-down is rare; an O(n) rebuild keeps every index structure exact
-  // after the vector shift.
-  RebuildIndex();
+  // Incremental O(log n) removal: tombstone the slot (the free-lists and
+  // the id map are updated in place) and drop the cold objects. No array
+  // shift, no rebuild — registration-order selection survives because the
+  // idle sets are keyed by registration sequence, not slot number.
+  store_.Remove(slot);
+  adb_slots_[slot].reset();  // before the Phone it observes
+  phone_slots_[slot].reset();
   return Status::Ok();
 }
 
-std::size_t PhoneMgr::CountIdle(DeviceGrade grade) const {
-  const std::size_t g = GradeIndex(grade);
-  return idle_[g][0].size() + idle_[g][1].size();
-}
-
-std::size_t PhoneMgr::CountTotal(DeviceGrade grade) const {
-  const std::size_t g = GradeIndex(grade);
-  return total_[g][0] + total_[g][1];
-}
-
 Phone* PhoneMgr::FindPhone(PhoneId id) {
-  const std::size_t index = IndexOf(id);
-  return index == npos ? nullptr : phones_[index].phone.get();
+  const std::size_t slot = store_.SlotOf(id.value());
+  return slot == npos ? nullptr : phone_slots_[slot].get();
 }
 
 const Phone* PhoneMgr::FindPhone(PhoneId id) const {
-  const std::size_t index = IndexOf(id);
-  return index == npos ? nullptr : phones_[index].phone.get();
+  const std::size_t slot = store_.SlotOf(id.value());
+  return slot == npos ? nullptr : phone_slots_[slot].get();
 }
 
 adb::AdbServer* PhoneMgr::FindAdb(PhoneId id) {
-  const std::size_t index = IndexOf(id);
-  return index == npos ? nullptr : phones_[index].adb.get();
+  const std::size_t slot = store_.SlotOf(id.value());
+  return slot == npos ? nullptr : adb_slots_[slot].get();
 }
 
-void PhoneMgr::MarkBusy(Entry& entry) {
-  entry.phone->set_busy(true);
-  const std::size_t index = IndexOf(entry.phone->spec().id);
-  if (index == npos) return;
-  const auto& spec = entry.phone->spec();
-  idle_[GradeIndex(spec.grade)][LocalityIndex(spec)].erase(index);
+std::optional<PhonePerfCounters> PhoneMgr::CountersFor(PhoneId id) const {
+  const std::size_t slot = store_.SlotOf(id.value());
+  if (slot == npos) return std::nullopt;
+  return store_.counters(slot);
+}
+
+void PhoneMgr::MarkBusy(std::size_t slot) {
+  phone_slots_[slot]->set_busy(true);
+  store_.SetBusy(slot, true);
 }
 
 void PhoneMgr::ReleasePhone(PhoneId id) {
-  const std::size_t index = IndexOf(id);
-  if (index == npos) return;  // unregistered while its job wound down
-  Entry& entry = phones_[index];
-  entry.phone->set_busy(false);
-  entry.phone->set_benchmarking(false);
-  entry.owner = TaskId();
-  const auto& spec = entry.phone->spec();
-  idle_[GradeIndex(spec.grade)][LocalityIndex(spec)].insert(index);
-}
-
-std::vector<PhoneMgr::Entry*> PhoneMgr::SelectIdle(DeviceGrade grade,
-                                                   std::size_t count) {
-  // The free-lists are ordered by registration index and split local/MSP,
-  // so walking them reproduces the historical "prefer local, registration
-  // order" linear scan at O(count log n) instead of O(n).
-  std::vector<Entry*> selected;
-  selected.reserve(count);
-  const std::size_t g = GradeIndex(grade);
-  for (const auto& locality_set : idle_[g]) {
-    for (const std::size_t index : locality_set) {
-      if (selected.size() == count) return selected;
-      selected.push_back(&phones_[index]);
-    }
-  }
-  return selected;
+  const std::size_t slot = store_.SlotOf(id.value());
+  if (slot == npos) return;  // unregistered while its job wound down
+  phone_slots_[slot]->set_busy(false);
+  phone_slots_[slot]->set_benchmarking(false);
+  store_.SetOwner(slot, TaskId());
+  store_.SetBusy(slot, false);
 }
 
 Result<PhoneJobHandle> PhoneMgr::SubmitJob(const PhoneJob& job) {
@@ -147,21 +101,26 @@ Result<PhoneJobHandle> PhoneMgr::SubmitJob(const PhoneJob& job) {
         std::string(ToString(job.grade)).c_str(), CountIdle(job.grade)));
   }
 
-  auto selected = SelectIdle(job.grade, want);
-  std::vector<Entry*> benchmarking(selected.begin(),
-                                   selected.begin() +
-                                       static_cast<std::ptrdiff_t>(job.benchmarking_phones));
-  std::vector<Entry*> computing(selected.begin() +
-                                    static_cast<std::ptrdiff_t>(job.benchmarking_phones),
-                                selected.end());
+  // The store's free-lists are ordered local-before-MSP, registration
+  // order within each, so selection reproduces the historical linear scan
+  // at O(count log n).
+  std::vector<std::size_t> selected;
+  selected.reserve(want);
+  store_.SelectIdle(GradeIndex(job.grade), want, selected);
+  const std::vector<std::size_t> benchmarking(
+      selected.begin(),
+      selected.begin() + static_cast<std::ptrdiff_t>(job.benchmarking_phones));
+  const std::vector<std::size_t> computing(
+      selected.begin() + static_cast<std::ptrdiff_t>(job.benchmarking_phones),
+      selected.end());
 
   PhoneJobHandle handle;
   handle.task = job.task;
   InstallPlans(job, computing, benchmarking, handle);
 
-  for (Entry* entry : benchmarking) {
-    entry->phone->set_benchmarking(true);
-    ArmSampler(*entry, job);
+  for (const std::size_t slot : benchmarking) {
+    phone_slots_[slot]->set_benchmarking(true);
+    ArmSampler(slot, job);
   }
 
   // Completion: free phones and fire the callback at the latest closure.
@@ -178,8 +137,8 @@ Result<PhoneJobHandle> PhoneMgr::SubmitJob(const PhoneJob& job) {
 }
 
 void PhoneMgr::InstallPlans(const PhoneJob& job,
-                            std::vector<Entry*>& computing,
-                            std::vector<Entry*>& benchmarking,
+                            const std::vector<std::size_t>& computing,
+                            const std::vector<std::size_t>& benchmarking,
                             PhoneJobHandle& handle) {
   const SimTime now = loop_.Now();
   // Devices multiplex over computing phones: each phone sequentially
@@ -194,7 +153,8 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
   std::vector<sim::TimedEvent> hooks;
   hooks.reserve((computing.size() + benchmarking.size()) * job.rounds);
 
-  auto install = [&](Entry& entry, std::size_t device_batches) {
+  auto install = [&](std::size_t slot, std::size_t device_batches) {
+    Phone& phone = *phone_slots_[slot];
     const SimTime train_window =
         Seconds(job.round_duration_s * static_cast<double>(
                                            std::max<std::size_t>(1, device_batches)));
@@ -202,7 +162,7 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
     // schedule — including crash truncations and recovery relaunches — is
     // computed up front, so phone state stays a pure function of time.
     Rng crash_rng =
-        Rng(job.seed ^ job.task.value()).Split(entry.phone->spec().id.value());
+        Rng(job.seed ^ job.task.value()).Split(phone.spec().id.value());
 
     RunPlan plan;
     plan.apk_launch_start = now + Seconds(job.pre_idle_s);
@@ -221,6 +181,7 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
         // The APK dies partway through the round: no upload, abrupt
         // closure, then a recovery relaunch that retries the round.
         ++handle.crashes;
+        ++store_.counters(slot).crashes;
         const double fraction = crash_rng.Uniform(0.1, 0.9);
         window.train_end =
             cursor + std::max<SimTime>(
@@ -232,7 +193,7 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
         plan.closure_end = window.train_end + Seconds(1.0);
         const SimTime relaunch =
             plan.closure_end + Seconds(job.crash_recovery_s);
-        entry.phone->ScheduleRun(std::move(plan));
+        phone.ScheduleRun(std::move(plan));
         plan = RunPlan{};
         plan.apk_launch_start = relaunch;
         plan.pid = next_pid_++;
@@ -247,13 +208,20 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
       window.train_end = cursor + train_window;
       window.upload_bytes = job.upload_bytes;
       plan.rounds.push_back(window);
-      // Fire the round-completion hook (message to DeviceFlow).
-      if (job.on_round_complete) {
-        const PhoneId id = entry.phone->spec().id;
+      // Fire the round-completion hook (message to DeviceFlow) and credit
+      // the phone's counter. Counter bumps go through the id map, not the
+      // slot, in case the phone is unregistered (and its slot reused)
+      // between scheduling and firing.
+      {
+        const PhoneId id = phone.spec().id;
         auto hook = job.on_round_complete;
         const std::size_t completed = round;
         hooks.push_back({window.train_end, [hook, id, completed, this] {
-                           hook(id, completed, loop_.Now());
+                           const std::size_t s = store_.SlotOf(id.value());
+                           if (s != npos) {
+                             ++store_.counters(s).rounds_completed;
+                           }
+                           if (hook) hook(id, completed, loop_.Now());
                          }});
       }
       cursor = window.train_end + Seconds(job.aggregation_wait_s);
@@ -268,27 +236,29 @@ void PhoneMgr::InstallPlans(const PhoneJob& job,
       plan.closure_start = cursor;
       plan.closure_end = cursor + Seconds(kClosureSeconds);
       end = plan.closure_end;
-      entry.phone->ScheduleRun(std::move(plan));
+      phone.ScheduleRun(std::move(plan));
     }
-    MarkBusy(entry);
-    entry.owner = job.task;
+    MarkBusy(slot);
+    store_.SetOwner(slot, job.task);
+    ++store_.counters(slot).jobs_assigned;
     handle.finish_time = std::max(handle.finish_time, end);
   };
 
-  for (Entry* entry : computing) {
-    install(*entry, reps);
-    handle.computing.push_back(entry->phone->spec().id);
+  for (const std::size_t slot : computing) {
+    install(slot, reps);
+    handle.computing.push_back(phone_slots_[slot]->spec().id);
   }
-  for (Entry* entry : benchmarking) {
+  for (const std::size_t slot : benchmarking) {
     // Benchmarking devices train exactly one device's workload per round.
-    install(*entry, 1);
-    handle.benchmarking.push_back(entry->phone->spec().id);
+    install(slot, 1);
+    handle.benchmarking.push_back(phone_slots_[slot]->spec().id);
   }
   (void)loop_.ScheduleBulk(std::move(hooks));
 }
 
-void PhoneMgr::ArmSampler(Entry& entry, const PhoneJob& job) {
-  const RunPlan* plan = entry.phone->plan();
+void PhoneMgr::ArmSampler(std::size_t slot, const PhoneJob& job) {
+  Phone* phone = phone_slots_[slot].get();
+  const RunPlan* plan = phone->plan();
   if (plan == nullptr) return;
   // Sampling starts immediately (covering the pre-launch idle stage) and
   // runs through APK closure. One self-rescheduling sampler event per
@@ -297,11 +267,10 @@ void PhoneMgr::ArmSampler(Entry& entry, const PhoneJob& job) {
   const SimDuration period =
       job.sample_period > 0 ? job.sample_period : Seconds(1.0);
   const SimTime end = plan->closure_end;
-  adb::AdbServer* shell = entry.adb.get();
-  Phone* phone = entry.phone.get();
+  adb::AdbServer* shell = adb_slots_[slot].get();
   std::string process = plan->process_name;
   const TaskId task = job.task;
-  const PhoneId phone_id = entry.phone->spec().id;
+  const PhoneId phone_id = phone->spec().id;
   loop_.ScheduleAt(loop_.Now(),
                    [this, shell, phone, process = std::move(process), task,
                     phone_id, period, end] {
@@ -356,6 +325,10 @@ void PhoneMgr::RunSampler(adb::AdbServer* shell, Phone* phone,
       }
     }
     sink_->Record(sample);
+    if (const std::size_t slot = store_.SlotOf(phone_id.value());
+        slot != npos) {
+      ++store_.counters(slot).samples_recorded;
+    }
   }
   const SimTime next = loop_.Now() + period;
   if (next > end) return;
@@ -367,10 +340,11 @@ void PhoneMgr::RunSampler(adb::AdbServer* shell, Phone* phone,
 
 Status PhoneMgr::TerminateTask(TaskId task) {
   bool found = false;
-  for (auto& entry : phones_) {
-    if (entry.owner == task && entry.phone->busy()) {
-      entry.phone->ClearPlan();
-      ReleasePhone(entry.phone->spec().id);
+  for (std::size_t slot = 0; slot < store_.slot_count(); ++slot) {
+    if (!store_.live(slot)) continue;
+    if (store_.owner(slot) == task && store_.busy(slot)) {
+      phone_slots_[slot]->ClearPlan();
+      ReleasePhone(phone_slots_[slot]->spec().id);
       found = true;
     }
   }

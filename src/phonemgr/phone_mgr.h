@@ -17,15 +17,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <set>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "adb/adb_server.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "device/fleet.h"
+#include "device/fleet_store.h"
 #include "device/grade.h"
 #include "device/perf_sample.h"
 #include "device/phone.h"
@@ -101,16 +101,27 @@ class PhoneMgr {
   void RegisterFleet(const std::vector<PhoneSpec>& fleet);
 
   /// Removes a phone from the cluster (dynamic scale-down, §III-B).
-  /// Fails when the phone is running a task or unknown.
+  /// Fails when the phone is running a task or unknown. O(log n):
+  /// tombstones the phone's slot in the SoA store for later reuse instead
+  /// of shifting the arrays and rebuilding every index.
   Status UnregisterPhone(PhoneId id);
 
-  std::size_t TotalPhones() const { return phones_.size(); }
-  std::size_t CountIdle(DeviceGrade grade) const;
-  std::size_t CountTotal(DeviceGrade grade) const;
+  std::size_t TotalPhones() const { return store_.live_count(); }
+  std::size_t CountIdle(DeviceGrade grade) const {
+    return store_.CountIdle(GradeIndex(grade));
+  }
+  std::size_t CountTotal(DeviceGrade grade) const {
+    return store_.CountTotal(GradeIndex(grade));
+  }
 
   Phone* FindPhone(PhoneId id);
   const Phone* FindPhone(PhoneId id) const;
   adb::AdbServer* FindAdb(PhoneId id);
+
+  /// Lifetime counters for one phone (jobs, completed rounds, crashes,
+  /// perf samples); nullopt when the id is unknown. Counters reset when a
+  /// phone is unregistered and its slot re-registered.
+  std::optional<PhonePerfCounters> CountersFor(PhoneId id) const;
 
   /// Submits a job: selects phones, installs run plans, arms benchmarking
   /// samplers, schedules completion callbacks. Fails when the cluster has
@@ -127,49 +138,39 @@ class PhoneMgr {
   static double PredictJobSeconds(const PhoneJob& job);
 
  private:
-  struct Entry {
-    std::unique_ptr<Phone> phone;
-    std::unique_ptr<adb::AdbServer> adb;
-    TaskId owner;  // invalid when idle
-  };
-
   /// Locality slot inside the per-grade idle free-lists: local phones are
   /// preferred over remote MSP devices (same order as the historical scan).
   static std::size_t LocalityIndex(const PhoneSpec& spec) {
     return spec.remote_msp ? 1 : 0;
   }
 
-  /// Picks `count` idle phones of `grade`, preferring local over MSP.
-  std::vector<Entry*> SelectIdle(DeviceGrade grade, std::size_t count);
-  void InstallPlans(const PhoneJob& job, std::vector<Entry*>& computing,
-                    std::vector<Entry*>& benchmarking,
+  void InstallPlans(const PhoneJob& job,
+                    const std::vector<std::size_t>& computing,
+                    const std::vector<std::size_t>& benchmarking,
                     PhoneJobHandle& handle);
-  void ArmSampler(Entry& entry, const PhoneJob& job);
+  void ArmSampler(std::size_t slot, const PhoneJob& job);
   /// One self-rescheduling sampler tick: measures through the ADB pipeline,
   /// then re-arms itself `period` later while `end` has not passed.
   void RunSampler(adb::AdbServer* shell, Phone* phone, std::string process,
                   TaskId task, PhoneId phone_id, SimDuration period,
                   SimTime end);
-  /// Busy-flag transitions routed through the manager so the idle
+  /// Busy-flag transitions routed through the manager so the store's idle
   /// free-lists stay in sync with Phone::busy().
-  void MarkBusy(Entry& entry);
+  void MarkBusy(std::size_t slot);
   void ReleasePhone(PhoneId id);
-  std::size_t IndexOf(PhoneId id) const;  // npos when unknown
-  /// Recomputes index_/idle_/total_ from phones_ (after an erase).
-  void RebuildIndex();
 
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t npos = FleetStore::npos;
 
   sim::EventLoop& loop_;
-  std::vector<Entry> phones_;
-  /// PhoneId → phones_ index; makes FindPhone/FindAdb O(1) at 10k-phone
-  /// fleets. First registration wins for duplicate ids (historical scan
-  /// order semantics).
-  std::unordered_map<std::uint64_t, std::size_t> index_;
-  /// Idle free-lists per (grade, locality), ordered by registration index
-  /// so SelectIdle reproduces the historical linear-scan selection order.
-  std::set<std::size_t> idle_[kNumGrades][2];
-  std::size_t total_[kNumGrades][2] = {};
+  /// Scheduling-hot per-phone state (grade, locality, busy bit, owner,
+  /// counters) as struct-of-arrays; the authority for slot liveness, the
+  /// PhoneId → slot map and the idle free-lists.
+  FleetStore store_;
+  /// Cold per-phone objects, slot-aligned with store_ (null at tombstoned
+  /// slots). Heap indirection keeps Phone/AdbServer addresses stable
+  /// across registrations, which the sampler closures rely on.
+  std::vector<std::unique_ptr<Phone>> phone_slots_;
+  std::vector<std::unique_ptr<adb::AdbServer>> adb_slots_;
   MetricsSink* sink_ = nullptr;
   int next_pid_ = 4200;
 };

@@ -67,8 +67,9 @@ TEST(BlobStoreTest, GetSharedAliasesWithoutCopy) {
   ASSERT_TRUE(b.ok());
   // Both reads alias the one stored buffer — the whole point of the
   // shared-ownership hot path.
-  EXPECT_EQ(a->get(), b->get());
-  EXPECT_EQ((*a)->size(), 4u);
+  EXPECT_EQ(a->data(), b->data());
+  EXPECT_EQ(a->owner(), b->owner());
+  EXPECT_EQ(a->size(), 4u);
   EXPECT_EQ(store.bytes_read(), 8u);  // still accounted per read
   EXPECT_FALSE(store.GetShared(BlobId(99)).ok());
 }
@@ -83,8 +84,79 @@ TEST(BlobStoreTest, SharedBlobSurvivesDelete) {
   ASSERT_TRUE(blob.ok());
   ASSERT_TRUE(store.Delete(id).ok());
   EXPECT_FALSE(store.Contains(id));
-  ASSERT_EQ((*blob)->size(), 3u);
-  EXPECT_EQ((**blob)[0], static_cast<std::byte>(7));
+  ASSERT_EQ(blob->size(), 3u);
+  EXPECT_EQ((*blob)[0], static_cast<std::byte>(7));
+}
+
+TEST(BlobStoreTest, PutPooledRoundTrip) {
+  BlobStore store;
+  const auto bytes = Bytes({10, 20, 30, 40, 50});
+  const BlobId id = store.PutPooled(bytes);
+  EXPECT_TRUE(store.Contains(id));
+  auto copy = store.Get(id);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, bytes);
+  EXPECT_EQ(store.bytes_written(), bytes.size());
+  EXPECT_EQ(store.total_bytes(), bytes.size());
+  ASSERT_TRUE(store.Delete(id).ok());
+  EXPECT_EQ(store.total_bytes(), 0u);
+}
+
+TEST(BlobStoreTest, PooledBlobsShareArenaBlocks) {
+  // Consecutive pooled puts bump-allocate out of the same slab: one heap
+  // block for many blobs is the whole point of the arena path.
+  BlobStore store;
+  const BlobId a = store.PutPooled(Bytes({1, 2, 3}));
+  const BlobId b = store.PutPooled(Bytes({4, 5}));
+  EXPECT_EQ(store.arena_blocks_created(), 1u);
+  auto sa = store.GetShared(a);
+  auto sb = store.GetShared(b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(sa->owner(), sb->owner());  // same backing slab
+  // Deleting one blob leaves its neighbors readable and intact.
+  ASSERT_TRUE(store.Delete(a).ok());
+  auto again = store.Get(b);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)[0], static_cast<std::byte>(4));
+}
+
+TEST(BlobStoreTest, ReclaimArenaWhileSharedBlobHeld) {
+  // The reset-while-held hazard: a reader still holding a SharedBlob into
+  // an arena block must keep its bytes valid across Delete + ReclaimArena;
+  // the block is only recycled once the last holder lets go.
+  BlobStore store;
+  const auto bytes = Bytes({42, 43, 44});
+  const BlobId id = store.PutPooled(bytes);
+  auto held = store.GetShared(id);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(store.Delete(id).ok());
+  EXPECT_EQ(store.ReclaimArena(), 0u);  // held: must NOT be recycled
+  EXPECT_EQ(held->size(), 3u);
+  EXPECT_EQ((*held)[0], static_cast<std::byte>(42));
+  EXPECT_EQ((*held)[2], static_cast<std::byte>(44));
+  *held = SharedBlob();  // drop the last reference
+  EXPECT_EQ(store.ReclaimArena(), 1u);
+  EXPECT_EQ(store.arena_blocks_recycled(), 1u);
+  // The recycled block serves the next pooled put: no new slab.
+  (void)store.PutPooled(bytes);
+  EXPECT_EQ(store.arena_blocks_created(), 1u);
+}
+
+TEST(BlobStoreTest, SharedBlobOutlivesStoreDestruction) {
+  SharedBlob standalone;
+  SharedBlob pooled;
+  {
+    BlobStore store;
+    auto a = store.GetShared(store.Put(Bytes({1, 2})));
+    auto b = store.GetShared(store.PutPooled(Bytes({3, 4})));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    standalone = *a;
+    pooled = *b;
+  }
+  EXPECT_EQ(standalone[1], static_cast<std::byte>(2));
+  EXPECT_EQ(pooled[0], static_cast<std::byte>(3));
 }
 
 TEST(BlobStoreConcurrencyTest, ConcurrentPutGetDeleteStress) {
@@ -127,7 +199,7 @@ TEST(BlobStoreConcurrencyTest, ConcurrentPutGetDeleteStress) {
         if (r % 2 == 0) {
           auto blob = store.GetShared(BlobId(probe));
           if (blob.ok()) {
-            auto decoded = ml::LrModel::FromBytesShared(**blob);
+            auto decoded = ml::LrModel::FromBytesShared(blob->span());
             ASSERT_TRUE(decoded.ok());
             ASSERT_EQ((*decoded)->weights()[0], 1.5f);
           }

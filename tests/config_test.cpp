@@ -323,6 +323,51 @@ TEST(ExecutionConfigTest, ParsesDecodePlane) {
   EXPECT_FALSE(LoadExecution(*junk).ok());
 }
 
+TEST(ExecutionConfigTest, ParsesPayloadCodec) {
+  auto fp16 = ParseIni("[execution]\npayload_codec = fp16\n");
+  ASSERT_TRUE(fp16.ok());
+  auto fp16_config = LoadExecution(*fp16);
+  ASSERT_TRUE(fp16_config.ok());
+  EXPECT_EQ(fp16_config->payload_codec, ml::PayloadCodec::kFp16);
+
+  auto int8 = ParseIni("[execution]\npayload_codec = INT8\n");  // case-folded
+  ASSERT_TRUE(int8.ok());
+  auto int8_config = LoadExecution(*int8);
+  ASSERT_TRUE(int8_config.ok());
+  EXPECT_EQ(int8_config->payload_codec, ml::PayloadCodec::kInt8);
+
+  // Missing key keeps the bit-compatible fp32 default; junk is rejected.
+  auto missing = ParseIni("[execution]\nparallelism = 2\n");
+  ASSERT_TRUE(missing.ok());
+  auto missing_config = LoadExecution(*missing);
+  ASSERT_TRUE(missing_config.ok());
+  EXPECT_EQ(missing_config->payload_codec, ml::PayloadCodec::kFp32);
+
+  auto junk = ParseIni("[execution]\npayload_codec = fp8\n");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(LoadExecution(*junk).ok());
+}
+
+TEST(ExecutionConfigTest, ParsesReclaimPayloadBlobs) {
+  auto on = ParseIni("[execution]\nreclaim_payload_blobs = 1\n");
+  ASSERT_TRUE(on.ok());
+  auto on_config = LoadExecution(*on);
+  ASSERT_TRUE(on_config.ok());
+  EXPECT_TRUE(on_config->reclaim_payload_blobs);
+
+  auto off = ParseIni("[execution]\nreclaim_payload_blobs = 0\n");
+  ASSERT_TRUE(off.ok());
+  auto off_config = LoadExecution(*off);
+  ASSERT_TRUE(off_config.ok());
+  EXPECT_FALSE(off_config->reclaim_payload_blobs);
+
+  auto missing = ParseIni("[execution]\n");
+  ASSERT_TRUE(missing.ok());
+  auto missing_config = LoadExecution(*missing);
+  ASSERT_TRUE(missing_config.ok());
+  EXPECT_FALSE(missing_config->reclaim_payload_blobs);  // off by default
+}
+
 // ---------- round trip into the platform types ----------
 
 TEST(RoundTripTest, FullSpecProducesSchedulableTask) {

@@ -246,6 +246,46 @@ TEST(ShardingTest, ClampsShardCountAndValidates) {
   EXPECT_THROW(ShardOf(5, 5, 2), std::invalid_argument);
 }
 
+TEST(ShardingTest, MoreShardsThanDevicesGivesSingletons) {
+  // 3 devices over 100 requested fleets: exactly one device per shard, and
+  // ShardOf agrees with the clamped partition at every index.
+  const auto ranges = PartitionDevices(3, 100);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (std::size_t device = 0; device < 3; ++device) {
+    EXPECT_EQ(ranges[device].begin, device);
+    EXPECT_EQ(ranges[device].size(), 1u);
+    EXPECT_EQ(ShardOf(device, 3, 100), device);
+  }
+}
+
+TEST(ShardingTest, ZeroDevicesHasNoShardsAndRejectsLookups) {
+  EXPECT_TRUE(PartitionDevices(0, 1).empty());
+  EXPECT_TRUE(PartitionDevices(0, 0).empty());
+  EXPECT_THROW(ShardOf(0, 0, 1), std::invalid_argument);
+}
+
+TEST(ShardingTest, MillionDeviceNonDivisibleRanges) {
+  // The 1M ladder rung over 7 fleets: 1,000,000 = 7·142,857 + 1, so the
+  // first shard takes the one-device remainder and boundaries stay exact.
+  constexpr std::size_t kDevices = 1'000'000;
+  constexpr std::size_t kShards = 7;
+  const auto ranges = PartitionDevices(kDevices, kShards);
+  ASSERT_EQ(ranges.size(), kShards);
+  EXPECT_EQ(ranges.front().size(), 142'858u);
+  EXPECT_EQ(ranges.back().size(), 142'857u);
+  EXPECT_EQ(ranges.back().end, kDevices);
+  std::size_t covered = 0;
+  for (const auto& range : ranges) covered += range.size();
+  EXPECT_EQ(covered, kDevices);
+  // Spot-check ShardOf against every range boundary (first/last member),
+  // where the remainder arithmetic is easiest to get wrong.
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(ShardOf(ranges[s].begin, kDevices, kShards), s);
+    EXPECT_EQ(ShardOf(ranges[s].end - 1, kDevices, kShards), s);
+  }
+  EXPECT_THROW(ShardOf(kDevices, kDevices, kShards), std::invalid_argument);
+}
+
 TEST(ShardingTest, DatasetOverloadUsesDeviceCount) {
   auto config = SmallConfig();
   config.num_devices = 10;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/rng.h"
@@ -67,6 +68,144 @@ TEST(LrModelTest, FromBytesRejectsGarbage) {
   bytes.pop_back();
   EXPECT_FALSE(LrModel::FromBytes(bytes).ok());
 }
+
+// ---------- Payload codecs ----------
+
+LrModel RampModel(std::uint32_t dim) {
+  LrModel model(dim);
+  model.bias() = 0.375f;
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    model.weights()[i] = static_cast<float>(i) * 0.03125f - 1.0f;
+  }
+  return model;
+}
+
+TEST(LrModelCodecTest, Fp32CodecIsTheHistoricalFormat) {
+  const LrModel model = RampModel(24);
+  // The default ToBytes, the explicit fp32 codec and EncodeTo all produce
+  // the same bytes — the bit-compat contract with pre-codec blobs.
+  const auto legacy = model.ToBytes();
+  EXPECT_EQ(legacy, model.ToBytes(PayloadCodec::kFp32));
+  std::vector<std::byte> scratch(model.EncodedSize(PayloadCodec::kFp32));
+  model.EncodeTo(scratch, PayloadCodec::kFp32);
+  EXPECT_EQ(legacy, scratch);
+  EXPECT_EQ(legacy.size(), model.SerializedSize());
+}
+
+TEST(LrModelCodecTest, Fp16RoundTrip) {
+  const LrModel model = RampModel(48);
+  const auto bytes = model.ToBytes(PayloadCodec::kFp16);
+  EXPECT_EQ(bytes.size(), model.EncodedSize(PayloadCodec::kFp16));
+  EXPECT_LT(bytes.size(), model.EncodedSize(PayloadCodec::kFp32));
+  auto restored = LrModel::FromBytes(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->dim(), 48u);
+  EXPECT_EQ(restored->bias(), model.bias());  // bias stays fp32
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    // RampModel weights are multiples of 2^-5 in [-1, 0.5): exactly
+    // representable in half precision, so the round trip is lossless.
+    EXPECT_EQ(restored->weights()[i], model.weights()[i]) << i;
+  }
+}
+
+TEST(LrModelCodecTest, Fp16RoundsToNearestEven) {
+  LrModel model(2);
+  // In [1, 2) the half-precision step is 2^-10. Both values below sit
+  // exactly halfway between representable halves, so round-to-nearest-even
+  // picks the even mantissa each time: down to 1.0 (mantissa 0), up to
+  // 1 + 2^-9 (mantissa 2).
+  model.weights()[0] = 1.0f + std::ldexp(1.0f, -11);
+  model.weights()[1] = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  auto restored = LrModel::FromBytes(model.ToBytes(PayloadCodec::kFp16));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->weights()[0], 1.0f);
+  EXPECT_EQ(restored->weights()[1], 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(LrModelCodecTest, Int8RoundTrip) {
+  const LrModel model = RampModel(64);
+  const auto bytes = model.ToBytes(PayloadCodec::kInt8);
+  EXPECT_EQ(bytes.size(), model.EncodedSize(PayloadCodec::kInt8));
+  auto restored = LrModel::FromBytes(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->dim(), 64u);
+  EXPECT_EQ(restored->bias(), model.bias());
+  // Symmetric per-tensor quantization: error bounded by half a step.
+  float max_abs = 0.0f;
+  for (float w : model.weights()) max_abs = std::max(max_abs, std::abs(w));
+  const float step = max_abs / 127.0f;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(restored->weights()[i], model.weights()[i], step / 2 + 1e-7)
+        << i;
+  }
+  // The extreme weight hits quantization level ±127 and survives exactly.
+  EXPECT_NEAR(restored->weights()[0], -1.0f, 1e-6);
+}
+
+TEST(LrModelCodecTest, Int8AllZeroWeightsUsesZeroScale) {
+  LrModel model(8);
+  model.bias() = 2.5f;
+  auto restored = LrModel::FromBytes(model.ToBytes(PayloadCodec::kInt8));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->bias(), 2.5f);
+  for (float w : restored->weights()) EXPECT_EQ(w, 0.0f);
+}
+
+TEST(LrModelCodecTest, FromBytesSharedMatchesFromBytes) {
+  const LrModel model = RampModel(32);
+  for (const auto codec :
+       {PayloadCodec::kFp32, PayloadCodec::kFp16, PayloadCodec::kInt8}) {
+    const auto bytes = model.ToBytes(codec);
+    auto eager = LrModel::FromBytes(bytes);
+    auto shared = LrModel::FromBytesShared(bytes);
+    ASSERT_TRUE(eager.ok()) << ToString(codec);
+    ASSERT_TRUE(shared.ok()) << ToString(codec);
+    EXPECT_EQ((*shared)->bias(), eager->bias());
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      EXPECT_EQ((*shared)->weights()[i], eager->weights()[i]);
+    }
+  }
+}
+
+TEST(LrModelCodecTest, QuantizedBlobValidation) {
+  const LrModel model = RampModel(16);
+  for (const auto codec : {PayloadCodec::kFp16, PayloadCodec::kInt8}) {
+    auto bytes = model.ToBytes(codec);
+    auto truncated = bytes;
+    truncated.pop_back();
+    EXPECT_FALSE(LrModel::FromBytes(truncated).ok()) << ToString(codec);
+    auto padded = bytes;
+    padded.push_back(std::byte{0});
+    EXPECT_FALSE(LrModel::FromBytes(padded).ok()) << ToString(codec);
+  }
+  // Header alone (no payload) is rejected, not read out of bounds.
+  auto header_only = model.ToBytes(PayloadCodec::kFp16);
+  header_only.resize(3 * sizeof(std::uint32_t) + sizeof(float));
+  EXPECT_FALSE(LrModel::FromBytes(header_only).ok());
+  // An unknown codec tag inside a valid magic header is rejected.
+  auto bad_tag = model.ToBytes(PayloadCodec::kFp16);
+  const std::uint32_t unknown = 99;
+  std::memcpy(bad_tag.data() + sizeof(std::uint32_t), &unknown,
+              sizeof(unknown));
+  EXPECT_FALSE(LrModel::FromBytes(bad_tag).ok());
+}
+
+TEST(LrModelCodecTest, EncodedSizeRatiosAtScale) {
+  // The million-device ladder's wire-size contract (int8 >= 3.9x, fp16 >=
+  // 1.9x smaller than fp32) holds from dim 1024 up.
+  const LrModel model(1024);
+  const double fp32 =
+      static_cast<double>(model.EncodedSize(PayloadCodec::kFp32));
+  EXPECT_GE(fp32 / model.EncodedSize(PayloadCodec::kInt8), 3.9);
+  EXPECT_GE(fp32 / model.EncodedSize(PayloadCodec::kFp16), 1.9);
+}
+
+#ifndef NDEBUG
+TEST(LrModelTest, ScoreBoundsCheckFiresInDebug) {
+  LrModel model(4);
+  EXPECT_THROW((void)model.Score(MakeExample({7}, 0)), std::invalid_argument);
+}
+#endif
 
 TEST(LrModelTest, DistanceToSelfIsZeroAndSymmetric) {
   LrModel a(8), b(8);

@@ -331,5 +331,54 @@ TEST_F(PhoneMgrTest, FreedPhonesRejoinSelectionInRegistrationOrder) {
   loop_.Run();
 }
 
+TEST_F(PhoneMgrTest, CountersForTracksJobLifecycle) {
+  auto handle = mgr_.SubmitJob(BasicJob(TaskId(60), DeviceGrade::kHigh));
+  ASSERT_TRUE(handle.ok());
+  loop_.Run();
+  for (PhoneId id : handle->computing) {
+    const auto counters = mgr_.CountersFor(id);
+    ASSERT_TRUE(counters.has_value());
+    EXPECT_EQ(counters->jobs_assigned, 1u);
+    EXPECT_EQ(counters->rounds_completed, 2u);  // BasicJob runs 2 rounds
+    EXPECT_EQ(counters->crashes, 0u);
+  }
+  for (PhoneId id : handle->benchmarking) {
+    const auto counters = mgr_.CountersFor(id);
+    ASSERT_TRUE(counters.has_value());
+    EXPECT_EQ(counters->jobs_assigned, 1u);
+    EXPECT_GT(counters->samples_recorded, 0u);
+  }
+  // Idle phones saw no work; unknown ids resolve to nothing.
+  EXPECT_EQ(mgr_.CountersFor(PhoneId(1010))->jobs_assigned, 0u);
+  EXPECT_FALSE(mgr_.CountersFor(PhoneId(9999)).has_value());
+}
+
+TEST_F(PhoneMgrTest, CountersCountCrashesAndResetOnReregister) {
+  auto job = BasicJob(TaskId(61), DeviceGrade::kLow);
+  job.crash_probability = 1.0;  // every round attempt crashes
+  job.max_round_attempts = 2;
+  auto handle = mgr_.SubmitJob(job);
+  ASSERT_TRUE(handle.ok());
+  loop_.Run();
+  EXPECT_GT(handle->crashes, 0u);
+  const PhoneId victim = handle->computing.front();
+  auto counters = mgr_.CountersFor(victim);
+  ASSERT_TRUE(counters.has_value());
+  EXPECT_GT(counters->crashes, 0u);
+  // A re-registered slot starts with fresh counters — lifetime stats
+  // belong to a registration, not to a reused slot.
+  const DeviceGrade grade = mgr_.FindPhone(victim)->spec().grade;
+  ASSERT_TRUE(mgr_.UnregisterPhone(victim).ok());
+  PhoneSpec spec;
+  spec.id = victim;
+  spec.grade = grade;
+  mgr_.RegisterPhone(spec);
+  counters = mgr_.CountersFor(victim);
+  ASSERT_TRUE(counters.has_value());
+  EXPECT_EQ(counters->jobs_assigned, 0u);
+  EXPECT_EQ(counters->crashes, 0u);
+  EXPECT_EQ(counters->rounds_completed, 0u);
+}
+
 }  // namespace
 }  // namespace simdc::device
