@@ -29,7 +29,7 @@ std::uint16_t FloatToHalf(float value) {
   const std::uint32_t exp = (bits >> 23) & 0xFFu;
   std::uint32_t mant = bits & 0x007FFFFFu;
 
-  if (exp >= 143 + 16) {  // overflow (or fp32 inf/nan) -> half inf/nan
+  if (exp >= 143) {  // >= 2^16 overflows half (or fp32 inf/nan) -> inf/nan
     if (exp == 0xFF && mant != 0) {
       return static_cast<std::uint16_t>(sign | 0x7E00u);  // quiet NaN
     }
@@ -47,7 +47,7 @@ std::uint16_t FloatToHalf(float value) {
   }
   if (exp >= 102) {  // subnormal half
     mant |= 0x00800000u;  // restore the implicit leading bit
-    const std::uint32_t shift = 126 - exp;
+    const std::uint32_t shift = 125 - exp;
     std::uint32_t half = mant >> (shift + 1);
     const std::uint32_t round_mask = (1u << (shift + 1)) - 1;
     const std::uint32_t round_bits = mant & round_mask;
@@ -77,7 +77,7 @@ float HalfToFloat(std::uint16_t value) {
       --e;
     }
     mant &= 0x3FFu;
-    return std::bit_cast<float>(sign | ((e - 1) << 23) | (mant << 13));
+    return std::bit_cast<float>(sign | (e << 23) | (mant << 13));
   }
   return std::bit_cast<float>(sign | ((exp + 112) << 23) | (mant << 13));
 }
@@ -161,8 +161,11 @@ void LrModel::EncodeTo(std::span<std::byte> out, PayloadCodec codec) const {
       AppendRaw(p, static_cast<std::uint32_t>(PayloadCodec::kInt8));
       AppendRaw(p, d);
       AppendRaw(p, bias_);
+      // The scale is taken over finite weights only so a stray inf cannot
+      // collapse every other weight to zero.
       float max_abs = 0.0f;
       for (float w : weights_) {
+        if (!std::isfinite(w)) continue;
         const float a = std::fabs(w);
         if (a > max_abs) max_abs = a;
       }
@@ -170,11 +173,17 @@ void LrModel::EncodeTo(std::span<std::byte> out, PayloadCodec codec) const {
       const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
       AppendRaw(p, scale);
       for (float w : weights_) {
-        int q = scale > 0.0f
-                    ? static_cast<int>(std::lround(w / scale))
-                    : 0;
-        if (q > 127) q = 127;
-        if (q < -127) q = -127;
+        // lround on NaN or out-of-range input is unspecified, so handle
+        // non-finite weights explicitly: NaN encodes as 0, inf saturates.
+        int q = 0;
+        if (std::isinf(w)) {
+          q = std::signbit(w) ? -127 : 127;
+        } else if (std::isfinite(w) && scale > 0.0f) {
+          const float scaled = w / scale;
+          q = scaled >= 127.0f   ? 127
+              : scaled <= -127.0f ? -127
+                                  : static_cast<int>(std::lround(scaled));
+        }
         AppendRaw(p, static_cast<std::int8_t>(q));
       }
       return;

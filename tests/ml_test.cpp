@@ -2,6 +2,7 @@
 // FedAvg.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -120,6 +121,133 @@ TEST(LrModelCodecTest, Fp16RoundsToNearestEven) {
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->weights()[0], 1.0f);
   EXPECT_EQ(restored->weights()[1], 1.0f + std::ldexp(1.0f, -9));
+}
+
+// Encode a single weight through the fp16 codec and return the raw half
+// bit pattern (the last two payload bytes of a dim-1 blob).
+std::uint16_t EncodeHalf(float w) {
+  LrModel model(1);
+  model.weights()[0] = w;
+  const auto bytes = model.ToBytes(PayloadCodec::kFp16);
+  std::uint16_t h = 0;
+  std::memcpy(&h, bytes.data() + bytes.size() - sizeof(h), sizeof(h));
+  return h;
+}
+
+// Decode a raw half bit pattern through the fp16 codec.
+float DecodeHalf(std::uint16_t h) {
+  LrModel model(1);
+  auto bytes = model.ToBytes(PayloadCodec::kFp16);
+  std::memcpy(bytes.data() + bytes.size() - sizeof(h), &h, sizeof(h));
+  auto restored = LrModel::FromBytes(bytes);
+  EXPECT_TRUE(restored.ok());
+  return restored->weights()[0];
+}
+
+TEST(LrModelCodecTest, Fp16OverflowSaturatesToInfinity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  // Finite fp32 values beyond the half range must become half infinity
+  // with the sign intact — never NaN or a sign flip.
+  EXPECT_EQ(DecodeHalf(EncodeHalf(100000.0f)), inf);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(131072.0f)), inf);  // 2^17
+  EXPECT_EQ(DecodeHalf(EncodeHalf(-100000.0f)), -inf);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(3.0e38f)), inf);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(inf)), inf);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(DecodeHalf(EncodeHalf(std::nanf("")))));
+  // Max finite half survives; the first value that ties toward 2^16
+  // rounds up to infinity (ties-to-even picks the even = overflow side).
+  EXPECT_EQ(DecodeHalf(EncodeHalf(65504.0f)), 65504.0f);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(65519.0f)), 65504.0f);
+  EXPECT_EQ(DecodeHalf(EncodeHalf(65520.0f)), inf);
+}
+
+TEST(LrModelCodecTest, Fp16SubnormalRoundTrip) {
+  // Every subnormal half is mant/2^10 * 2^-14 = mant * 2^-24; those values
+  // must round-trip exactly through encode and decode.
+  for (std::uint32_t mant : {1u, 2u, 3u, 0x200u, 0x201u, 0x3FFu}) {
+    const float value = std::ldexp(static_cast<float>(mant), -24);
+    EXPECT_EQ(DecodeHalf(static_cast<std::uint16_t>(mant)), value) << mant;
+    EXPECT_EQ(EncodeHalf(value), mant) << mant;
+    EXPECT_EQ(EncodeHalf(-value),
+              static_cast<std::uint16_t>(0x8000u | mant)) << mant;
+  }
+  // 2^-15 (pattern 0x0200) decoded at full value, not half of it.
+  EXPECT_EQ(DecodeHalf(0x0200), std::ldexp(1.0f, -15));
+  // Underflow boundary: below 2^-25 flushes to zero, the 2^-25 tie goes
+  // to even (zero), and anything past the tie rounds up to 2^-24.
+  EXPECT_EQ(EncodeHalf(std::ldexp(1.0f, -26)), 0u);
+  EXPECT_EQ(EncodeHalf(std::ldexp(1.0f, -25)), 0u);
+  EXPECT_EQ(EncodeHalf(std::ldexp(1.5f, -25)), 1u);
+  // Smallest normal half boundary from both sides.
+  EXPECT_EQ(DecodeHalf(0x0400), std::ldexp(1.0f, -14));
+  EXPECT_EQ(EncodeHalf(std::ldexp(1.0f, -14)), 0x0400u);
+}
+
+#if defined(__FLT16_MAX__)
+// With a native _Float16 available, check the codec against the hardware /
+// soft-float reference over every half bit pattern (decode) and over the
+// decoded set re-encoded (encode), so the two directions agree bit-for-bit
+// with IEEE 754 round-to-nearest-even.
+TEST(LrModelCodecTest, Fp16MatchesNativeReferenceExhaustively) {
+  const std::uint32_t n = 1u << 16;
+  LrModel model(n);
+  auto bytes = model.ToBytes(PayloadCodec::kFp16);
+  std::byte* payload = bytes.data() + (bytes.size() - n * sizeof(std::uint16_t));
+  for (std::uint32_t h = 0; h < n; ++h) {
+    const auto v = static_cast<std::uint16_t>(h);
+    std::memcpy(payload + h * sizeof(v), &v, sizeof(v));
+  }
+  auto restored = LrModel::FromBytes(bytes);
+  ASSERT_TRUE(restored.ok());
+  for (std::uint32_t h = 0; h < n; ++h) {
+    const auto v = static_cast<std::uint16_t>(h);
+    _Float16 ref;
+    std::memcpy(&ref, &v, sizeof(v));
+    const float expect = static_cast<float>(ref);
+    const float got = restored->weights()[h];
+    if (std::isnan(expect)) {
+      ASSERT_TRUE(std::isnan(got)) << "pattern " << h;
+      continue;
+    }
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got),
+              std::bit_cast<std::uint32_t>(expect))
+        << "pattern " << h;
+    // Decoded halves are exactly representable, so re-encoding must be the
+    // identity on the bit pattern.
+    ASSERT_EQ(EncodeHalf(expect), v) << "pattern " << h;
+  }
+  // Encode direction on values that are NOT exact halves: a deterministic
+  // strided sweep of fp32 bit patterns against the native cast.
+  for (std::uint32_t bits = 0; bits < 0xFF000000u; bits += 0x000F4243u) {
+    const float f = std::bit_cast<float>(bits);
+    const auto got = EncodeHalf(f);
+    if (std::isnan(f)) {
+      // The codec canonicalizes NaN payloads; only NaN-ness must survive.
+      ASSERT_TRUE((got & 0x7C00u) == 0x7C00u && (got & 0x03FFu) != 0)
+          << "fp32 bits " << bits;
+      continue;
+    }
+    const auto want = std::bit_cast<std::uint16_t>(static_cast<_Float16>(f));
+    ASSERT_EQ(got, want) << "fp32 bits " << bits;
+  }
+}
+#endif
+
+TEST(LrModelCodecTest, Int8NonFiniteWeightsEncodeSafely) {
+  LrModel model(4);
+  model.weights()[0] = std::nanf("");
+  model.weights()[1] = std::numeric_limits<float>::infinity();
+  model.weights()[2] = -std::numeric_limits<float>::infinity();
+  model.weights()[3] = 0.5f;
+  auto restored = LrModel::FromBytes(model.ToBytes(PayloadCodec::kInt8));
+  ASSERT_TRUE(restored.ok());
+  // NaN maps to zero, infinities saturate, and the finite weight sets the
+  // scale (so it survives at full precision) instead of being crushed by inf.
+  EXPECT_EQ(restored->weights()[0], 0.0f);
+  EXPECT_NEAR(restored->weights()[1], 0.5f, 1e-6);   // +127 * (0.5/127)
+  EXPECT_NEAR(restored->weights()[2], -0.5f, 1e-6);  // -127 * (0.5/127)
+  EXPECT_NEAR(restored->weights()[3], 0.5f, 1e-6);
 }
 
 TEST(LrModelCodecTest, Int8RoundTrip) {
