@@ -1,5 +1,7 @@
 #include "cloud/aggregation.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace simdc::cloud {
@@ -64,8 +66,17 @@ void AggregationService::DeliverOne(const flow::Message& message,
   }
 
   // The message carries only a reference; the model lives in storage.
+  // kNotFound is a decode failure (the payload is semantically gone, e.g.
+  // reclaimed); any other store error is an I/O fault and books separately.
   auto blob = storage_.Get(message.payload);
   if (!blob.ok()) {
+    if (blob.error().code() != ErrorCode::kNotFound) {
+      ++store_errors_;
+      SIMDC_LOG(kWarn, "AggregationService")
+          << "store error serving payload for " << message.id.ToString()
+          << ": " << blob.error().ToString();
+      return;
+    }
     ++decode_failures_;
     SIMDC_LOG(kWarn, "AggregationService")
         << "missing payload blob for " << message.id.ToString() << ": "
@@ -97,6 +108,13 @@ void AggregationService::DeliverDecodedOne(const flow::DecodedUpdate& update,
   }
 
   if (!update.decoded()) {
+    if (update.failure == flow::DecodedUpdate::Failure::kStoreError) {
+      ++store_errors_;
+      SIMDC_LOG(kWarn, "AggregationService")
+          << "store error serving payload for " << update.message.id.ToString()
+          << ": " << update.error.ToString();
+      return;
+    }
     ++decode_failures_;
     if (update.failure == flow::DecodedUpdate::Failure::kMissingBlob) {
       SIMDC_LOG(kWarn, "AggregationService")
@@ -133,6 +151,44 @@ void AggregationService::Accumulate(const ml::LrModel& model,
     // paths bit-identical.
     AggregateAt(std::max(arrival, loop_.Now()));
   }
+}
+
+AggregationSnapshot AggregationService::Snapshot() const {
+  AggregationSnapshot s;
+  s.history = history_;
+  s.messages_received = messages_received_;
+  s.decode_failures = decode_failures_;
+  s.stale_rejections = stale_rejections_;
+  s.store_errors = store_errors_;
+  s.model_dim = global_model_.dim();
+  s.global_weights.assign(global_model_.weights().begin(),
+                          global_model_.weights().end());
+  s.global_bias = global_model_.bias();
+  s.accumulator.assign(aggregator_.accumulator().begin(),
+                       aggregator_.accumulator().end());
+  s.bias_accumulator = aggregator_.bias_accumulator();
+  s.accumulator_samples = aggregator_.total_samples();
+  s.accumulator_clients = aggregator_.clients();
+  return s;
+}
+
+void AggregationService::RestoreSnapshot(const AggregationSnapshot& snapshot) {
+  SIMDC_CHECK(snapshot.model_dim == config_.model_dim,
+              "AggregationService::RestoreSnapshot: dimension mismatch ("
+                  << snapshot.model_dim << " vs " << config_.model_dim << ")");
+  history_ = snapshot.history;
+  messages_received_ = static_cast<std::size_t>(snapshot.messages_received);
+  decode_failures_ = static_cast<std::size_t>(snapshot.decode_failures);
+  stale_rejections_ = static_cast<std::size_t>(snapshot.stale_rejections);
+  store_errors_ = static_cast<std::size_t>(snapshot.store_errors);
+  ml::LrModel model(snapshot.model_dim);
+  std::copy(snapshot.global_weights.begin(), snapshot.global_weights.end(),
+            model.weights().begin());
+  model.bias() = snapshot.global_bias;
+  global_model_ = std::move(model);
+  aggregator_.Restore(snapshot.accumulator, snapshot.bias_accumulator,
+                      static_cast<std::size_t>(snapshot.accumulator_samples),
+                      static_cast<std::size_t>(snapshot.accumulator_clients));
 }
 
 bool AggregationService::AggregateAt(SimTime when) {

@@ -62,6 +62,26 @@ struct AggregationRecord {
   BlobId model_blob;
 };
 
+/// Bit-exact image of an AggregationService mid-experiment — everything a
+/// checkpoint needs to resume aggregation at a round boundary: completed
+/// history, failure counters, the published global model's bits, and the
+/// FedAvg accumulator (empty at quiescent boundaries, carried anyway so
+/// the snapshot is a total function of the service).
+struct AggregationSnapshot {
+  std::vector<AggregationRecord> history;
+  std::uint64_t messages_received = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t stale_rejections = 0;
+  std::uint64_t store_errors = 0;
+  std::uint32_t model_dim = 0;
+  std::vector<float> global_weights;
+  float global_bias = 0.0f;
+  std::vector<double> accumulator;
+  double bias_accumulator = 0.0;
+  std::uint64_t accumulator_samples = 0;
+  std::uint64_t accumulator_clients = 0;
+};
+
 class AggregationService final : public flow::CloudEndpoint {
  public:
   AggregationService(sim::EventLoop& loop, BlobStore& storage,
@@ -100,7 +120,18 @@ class AggregationService final : public flow::CloudEndpoint {
   std::size_t messages_received() const { return messages_received_; }
   std::size_t decode_failures() const { return decode_failures_; }
   std::size_t stale_rejections() const { return stale_rejections_; }
+  /// Updates dropped because the store failed to serve their payload with
+  /// anything other than kNotFound (I/O faults) — never bundled into
+  /// decode_failures, so existing accounting is unchanged when no store
+  /// faults occur.
+  std::size_t store_errors() const { return store_errors_; }
   std::size_t pending_samples() const { return aggregator_.total_samples(); }
+
+  /// Bit-exact state image for checkpointing (see AggregationSnapshot).
+  AggregationSnapshot Snapshot() const;
+  /// Restores the service to a snapshot (recovery path). The snapshot's
+  /// model_dim must match this service's configured dimension.
+  void RestoreSnapshot(const AggregationSnapshot& snapshot);
 
   /// Fired after each aggregation with the new global model.
   using AggregateCallback =
@@ -139,6 +170,7 @@ class AggregationService final : public flow::CloudEndpoint {
   std::size_t messages_received_ = 0;
   std::size_t decode_failures_ = 0;
   std::size_t stale_rejections_ = 0;
+  std::size_t store_errors_ = 0;
   bool stopped_ = false;
 };
 

@@ -112,6 +112,38 @@ void MetricsDatabase::RecordScalar(const std::string& series, SimTime time,
                                    double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   scalars_[series].emplace_back(time, value);
+  scalar_log_.push_back({series, time, value});
+}
+
+std::size_t MetricsDatabase::Flush() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size() + scalar_log_.size();
+}
+
+std::size_t MetricsDatabase::scalar_row_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scalar_log_.size();
+}
+
+std::vector<ScalarRow> MetricsDatabase::ScalarRows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scalar_log_;
+}
+
+std::vector<device::PerfSample> MetricsDatabase::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void MetricsDatabase::Restore(std::vector<device::PerfSample> samples,
+                              const std::vector<ScalarRow>& scalar_rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_ = std::move(samples);
+  scalars_.clear();
+  scalar_log_ = scalar_rows;
+  for (const ScalarRow& row : scalar_log_) {
+    scalars_[row.series].emplace_back(row.time, row.value);
+  }
 }
 
 std::vector<std::pair<SimTime, double>> MetricsDatabase::QueryScalar(

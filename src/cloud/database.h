@@ -30,6 +30,16 @@ struct StageAggregate {
   std::size_t samples = 0;
 };
 
+/// One named scalar observation in insertion order. The per-series map
+/// (QueryScalar) iterates sorted by series name — NOT recording order — so
+/// the durability plane checkpoints this row log instead: replaying it
+/// reproduces the database byte-for-byte, in the order it was built.
+struct ScalarRow {
+  std::string series;
+  SimTime time = 0;
+  double value = 0.0;
+};
+
 class MetricsDatabase final : public device::MetricsSink {
  public:
   void Record(const device::PerfSample& sample) override;
@@ -54,10 +64,29 @@ class MetricsDatabase final : public device::MetricsSink {
   std::vector<std::pair<SimTime, double>> QueryScalar(
       const std::string& series) const;
 
+  // --- Durability-plane surface ---
+  /// Explicit sync point before a checkpoint serializes the database: takes
+  /// the lock once (so every row recorded-before happens-before the reads
+  /// that follow) and returns the total row count (perf samples + scalar
+  /// rows) the checkpoint should contain.
+  std::size_t Flush() const;
+  std::size_t scalar_row_count() const;
+  /// Scalar rows in insertion order (the deterministic replay order).
+  std::vector<ScalarRow> ScalarRows() const;
+  /// All perf samples in insertion order.
+  std::vector<device::PerfSample> Samples() const;
+  /// Recovery replay: drops current contents and rebuilds both stores from
+  /// checkpointed rows, in their recorded order.
+  void Restore(std::vector<device::PerfSample> samples,
+               const std::vector<ScalarRow>& scalar_rows);
+
  private:
   mutable std::mutex mutex_;
   std::vector<device::PerfSample> samples_;
   std::map<std::string, std::vector<std::pair<SimTime, double>>> scalars_;
+  /// Insertion-order log of every RecordScalar call (checkpoint source;
+  /// scalars_ is the query index derived from it).
+  std::vector<ScalarRow> scalar_log_;
 };
 
 }  // namespace simdc::cloud

@@ -9,7 +9,12 @@ flow::DecodedUpdate BlobModelDecoder::Decode(flow::Message message) const {
   update.message = std::move(message);
   auto blob = storage_->GetShared(update.message.payload);
   if (!blob.ok()) {
-    update.failure = flow::DecodedUpdate::Failure::kMissingBlob;
+    // kNotFound is the semantic miss (reclaimed / never-written payload);
+    // anything else is the store failing to serve a blob it may well hold
+    // — a different animal for failure accounting.
+    update.failure = blob.error().code() == ErrorCode::kNotFound
+                         ? flow::DecodedUpdate::Failure::kMissingBlob
+                         : flow::DecodedUpdate::Failure::kStoreError;
     update.error = blob.error();
     return update;
   }

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -28,6 +29,18 @@
 #include "common/ids.h"
 
 namespace simdc::cloud {
+
+/// Observer of BlobStore mutations — the seam the durability plane hangs
+/// off (persist::DurableStore records every Put/PutPooled/Delete into its
+/// append-only blob log). Callbacks run under the store mutex, after the
+/// mutation is applied; implementations must be cheap (buffer, don't do
+/// I/O) and must not call back into the store.
+class BlobJournal {
+ public:
+  virtual ~BlobJournal() = default;
+  virtual void OnPut(BlobId id, std::span<const std::byte> bytes) = 0;
+  virtual void OnDelete(BlobId id) = 0;
+};
 
 /// Shared-ownership view of a stored blob (see BlobStore::GetShared).
 /// Value-semantic: copying is one shared_ptr copy, no payload copy. The
@@ -86,8 +99,40 @@ class BlobStore {
   /// acquisition and one shared_ptr copy, no payload copy.
   Result<SharedBlob> GetShared(BlobId id) const;
 
+  /// Removes a blob. Typed error paths: kNotFound for an id the store has
+  /// never seen or already deleted — callers that track live ids (the
+  /// engine's round reclaim) treat it as a bookkeeping bug, not a silent
+  /// miss.
   Status Delete(BlobId id);
   bool Contains(BlobId id) const;
+
+  /// Attaches (or detaches, with nullptr) the mutation journal. The
+  /// durability plane attaches AFTER any recovery replay so replayed
+  /// mutations are not re-journaled.
+  void set_journal(BlobJournal* journal);
+
+  /// Read-fault hook for store-I/O-error testing: consulted by Get /
+  /// GetShared before the lookup; a non-OK return is surfaced to the
+  /// caller as that error (distinct from kNotFound — see
+  /// BlobModelDecoder's failure mapping).
+  using ReadFaultHook = std::function<Status(BlobId)>;
+  void set_read_fault_hook(ReadFaultHook hook);
+
+  /// Recovery-replay insert: stores `bytes` under an explicit id (log
+  /// records carry the ids the original run assigned). Bumps next_id_ past
+  /// `id`, counts into total_bytes_ but NOT bytes_written_ — cumulative
+  /// traffic counters are restored separately (RestoreTrafficCounters), so
+  /// a recovered store reports the original run's traffic, not the
+  /// replay's. Never journaled.
+  void RestoreBlob(BlobId id, std::vector<std::byte> bytes);
+
+  /// Pins the id counter (recovery restores the checkpoint's cursor so
+  /// re-executed rounds re-assign identical blob ids).
+  void SetNextId(std::uint64_t next_id);
+  /// The id the next Put will assign (checkpointed as the blob-id cursor).
+  std::uint64_t next_id() const;
+  /// Restores cumulative traffic counters from a checkpoint.
+  void RestoreTrafficCounters(std::size_t written, std::size_t read);
 
   /// Round-boundary arena maintenance: recycles arena blocks that no live
   /// blob or outstanding SharedBlob references (see ByteArena::Reclaim).
@@ -111,6 +156,8 @@ class BlobStore {
   mutable std::mutex mutex_;
   std::unordered_map<BlobId, SharedBlob> blobs_;
   ByteArena arena_;
+  BlobJournal* journal_ = nullptr;
+  ReadFaultHook read_fault_hook_;
   std::uint64_t next_id_ = 1;
   std::size_t total_bytes_ = 0;
   std::size_t bytes_written_ = 0;

@@ -348,6 +348,34 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
   } else if (has_section && reclaim.error().code() != ErrorCode::kNotFound) {
     return reclaim.error();
   }
+  if (auto durability = GetString(doc, "execution", "durability");
+      durability.ok()) {
+    const std::string name = Lower(*durability);
+    if (name == "off") {
+      config.durability = persist::DurabilityMode::kOff;
+    } else if (name == "log") {
+      config.durability = persist::DurabilityMode::kLog;
+    } else if (name == "log+checkpoint") {
+      config.durability = persist::DurabilityMode::kLogCheckpoint;
+    } else {
+      return InvalidArgument(
+          "[execution] durability must be 'off', 'log' or 'log+checkpoint', "
+          "got '" +
+          *durability + "'");
+    }
+  } else if (has_section && durability.error().code() != ErrorCode::kNotFound) {
+    return durability.error();
+  }
+  if (auto dir = GetString(doc, "execution", "durability_dir"); dir.ok()) {
+    config.durability_dir = *dir;
+  } else if (has_section && dir.error().code() != ErrorCode::kNotFound) {
+    return dir.error();
+  }
+  if (config.durability != persist::DurabilityMode::kOff &&
+      config.durability_dir.empty()) {
+    return InvalidArgument(
+        "[execution] durability_dir is required when durability is not off");
+  }
   return config;
 }
 

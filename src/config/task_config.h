@@ -47,6 +47,7 @@
 #include "flow/decoded_update.h"
 #include "flow/strategy.h"
 #include "ml/lr_model.h"
+#include "persist/durable_store.h"
 #include "sched/task.h"
 
 namespace simdc::config {
@@ -119,11 +120,21 @@ struct ExecutionConfig {
   /// blob memory to one round's working set. Off by default to preserve
   /// historical post-run storage accounting.
   bool reclaim_payload_blobs = false;
+  /// Durability plane: off (default — in-memory store, bit-identical to
+  /// the historical engine), log (append-only blob log, store contents
+  /// survive a crash), or log+checkpoint (plus round-boundary aggregator
+  /// checkpoints; a crashed run resumes bit-identically). See
+  /// persist::DurableStore.
+  persist::DurabilityMode durability = persist::DurabilityMode::kOff;
+  /// Directory for the blob log and checkpoints; required when durability
+  /// is not off.
+  std::string durability_dir;
 };
 
 /// Reads [execution] (parallelism = N, shards = N,
 /// decode_plane = decoded|legacy, payload_codec = fp32|fp16|int8,
-/// reclaim_payload_blobs = 0|1). A missing section or key yields the
+/// reclaim_payload_blobs = 0|1, durability = off|log|log+checkpoint,
+/// durability_dir = path). A missing section or key yields the
 /// defaults; malformed or negative values are rejected.
 Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
 

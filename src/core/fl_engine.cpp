@@ -38,6 +38,13 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
   agg.reject_stale = config_.reject_stale;
   service_ = std::make_unique<cloud::AggregationService>(loop_, storage_, agg);
 
+  if (config_.durability.mode != persist::DurabilityMode::kOff) {
+    // The journal is attached to storage_ later — by Run() after
+    // BeginFresh, or by RestoreFromRecovery after replay — so recovery
+    // replay never re-logs itself.
+    durable_ = std::make_unique<persist::DurableStore>(config_.durability);
+  }
+
   const std::size_t width = std::clamp<std::size_t>(
       config_.shards == 0 ? 1 : config_.shards, 1, dataset.devices.size());
   if (width > 1) {
@@ -108,8 +115,21 @@ FlRunResult FlEngine::Run() {
       [this](const cloud::AggregationRecord& record, const ml::LrModel& model) {
         RecordRound(record, model);
       });
+  if (durable_ != nullptr && !resume_pending_) {
+    // Fresh durable run: wipe any previous run's log/checkpoints, then
+    // attach the journal so every Put/Delete from here on is logged.
+    const Status fresh = durable_->BeginFresh();
+    SIMDC_CHECK(fresh.ok(),
+                "FlEngine: durable store init failed: " << fresh.ToString());
+    storage_.set_journal(durable_.get());
+  }
   service_->Start();
-  StartRound(0);
+  if (resume_pending_) {
+    resume_pending_ = false;
+    StartRoundFrom(resume_round_, resume_t0_);
+  } else {
+    StartRound(0);
+  }
   if (!sharded()) {
     loop_.Run();
   } else {
@@ -143,10 +163,34 @@ FlRunResult FlEngine::Run() {
   } else if (const auto* dispatcher = flow_.FindDispatcher(config_.task)) {
     result_.messages_dropped = dispatcher->stats().dropped;
   }
+  // A resumed run's pre-crash drops live in the checkpointed stats prefix,
+  // not in this process's dispatchers.
+  if (has_restored_stats_) {
+    result_.messages_dropped += restored_stats_.dropped;
+  }
   return result_;
 }
 
 flow::DispatchStats FlEngine::dispatch_stats() const {
+  flow::DispatchStats current = LocalDispatchStats();
+  if (!has_restored_stats_) return current;
+  // Recovered engines report the checkpointed prefix followed by this
+  // process's ticks. Every post-resume tick stamps at or after the
+  // checkpoint time, so simple concatenation IS the global merge order.
+  flow::DispatchStats merged = restored_stats_;
+  merged.received += current.received;
+  merged.sent += current.sent;
+  merged.dropped += current.dropped;
+  merged.batches_truncated += current.batches_truncated;
+  merged.batches.insert(merged.batches.end(), current.batches.begin(),
+                        current.batches.end());
+  merged.batch_keys.insert(merged.batch_keys.end(),
+                           current.batch_keys.begin(),
+                           current.batch_keys.end());
+  return merged;
+}
+
+flow::DispatchStats FlEngine::LocalDispatchStats() const {
   if (!sharded()) {
     const auto* dispatcher = flow_.FindDispatcher(config_.task);
     return dispatcher != nullptr ? dispatcher->stats() : flow::DispatchStats{};
@@ -204,7 +248,13 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   // still in flight lose their payloads (see FlExperimentConfig).
   if (config_.reclaim_payload_blobs && !round_blob_ids_.empty()) {
     for (const BlobId id : round_blob_ids_) {
-      (void)storage_.Delete(id);
+      if (const Status deleted = storage_.Delete(id); !deleted.ok()) {
+        // The engine only reclaims ids it put itself, so a failure means
+        // the id bookkeeping drifted; say so instead of leaking silently.
+        SIMDC_LOG(kWarn, "FlEngine")
+            << "payload blob reclaim failed for id " << id.value() << ": "
+            << deleted.ToString();
+      }
     }
     round_blob_ids_.clear();
     (void)storage_.ReclaimArena();
@@ -401,6 +451,17 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
           StartRound(round + 1);
         }
       });
+
+  // Group-commit the round's durable mutations (payload puts, reclaim
+  // deletes) as one append + fsync. I/O failures degrade durability, never
+  // the simulation: the records stay buffered (or, past a failed fsync,
+  // un-synced in the file) and the run continues.
+  if (durable_ != nullptr) {
+    if (const Status committed = durable_->CommitLog(); !committed.ok()) {
+      SIMDC_LOG(kWarn, "FlEngine")
+          << "durable log commit failed: " << committed.ToString();
+    }
+  }
 }
 
 void FlEngine::RecordRound(const cloud::AggregationRecord& record,
@@ -425,6 +486,7 @@ void FlEngine::RecordRound(const cloud::AggregationRecord& record,
   metrics.train_logloss = train.logloss;
   result_.rounds.push_back(metrics);
   last_recorded_round_ = rounds_started_;
+  PersistRoundBoundary(record);
 
   if (!ShouldStop()) {
     // Anchor at the aggregation's wire time: equal to Now() when rounds
@@ -434,6 +496,127 @@ void FlEngine::RecordRound(const cloud::AggregationRecord& record,
   } else {
     service_->Stop();
   }
+}
+
+void FlEngine::PersistRoundBoundary(const cloud::AggregationRecord& record) {
+  if (durable_ == nullptr) return;
+  // Commit first so the checkpoint's log offset covers everything the
+  // snapshot references — most importantly the global-model blob this
+  // aggregation just published.
+  if (const Status committed = durable_->CommitLog(); !committed.ok()) {
+    SIMDC_LOG(kWarn, "FlEngine")
+        << "durable log commit failed: " << committed.ToString();
+  }
+  if (config_.durability.mode != persist::DurabilityMode::kLogCheckpoint) {
+    return;
+  }
+  persist::CheckpointState state;
+  state.time = record.time;
+  // The same anchor RecordRound passes to StartRoundFrom: a resumed engine
+  // re-enters the next round at exactly the t0 the uninterrupted run used.
+  state.resume_t0 = std::max(loop_.Now(), record.time);
+  state.next_round = rounds_started_;
+  state.next_message_id = next_message_id_;
+  state.next_blob_id = storage_.next_id();
+  state.rounds_started = rounds_started_;
+  state.last_recorded_round = last_recorded_round_;
+  state.messages_emitted = result_.messages_emitted;
+  state.storage_bytes_written = storage_.bytes_written();
+  state.storage_bytes_read = storage_.bytes_read();
+  state.pending_delete_blobs.reserve(round_blob_ids_.size());
+  for (const BlobId id : round_blob_ids_) {
+    state.pending_delete_blobs.push_back(id.value());
+  }
+  state.aggregation = service_->Snapshot();
+  state.rounds.reserve(result_.rounds.size());
+  for (const RoundMetrics& m : result_.rounds) {
+    persist::CheckpointRound row;
+    row.round = m.round;
+    row.time = m.time;
+    row.test_accuracy = m.test_accuracy;
+    row.test_logloss = m.test_logloss;
+    row.train_accuracy = m.train_accuracy;
+    row.train_logloss = m.train_logloss;
+    row.clients = m.clients;
+    row.samples = m.samples;
+    state.rounds.push_back(row);
+  }
+  state.dispatch = dispatch_stats();
+  if (metrics_ != nullptr) {
+    (void)metrics_->Flush();
+    state.scalars = metrics_->ScalarRows();
+    state.perf_samples = metrics_->Samples();
+  }
+  // No messages in flight <=> everything emitted was delivered or dropped.
+  // Bit-identical resume is only guaranteed from quiescent boundaries; the
+  // flag rides in the checkpoint so recovery can assert it.
+  state.quiescent = result_.messages_emitted ==
+                    service_->messages_received() + state.dispatch.dropped;
+  if (const Status wrote = durable_->WriteCheckpoint(std::move(state));
+      !wrote.ok()) {
+    SIMDC_LOG(kWarn, "FlEngine")
+        << "checkpoint write failed: " << wrote.ToString();
+  }
+}
+
+Status FlEngine::RestoreFromRecovery() {
+  SIMDC_CHECK(durable_ != nullptr &&
+                  config_.durability.mode ==
+                      persist::DurabilityMode::kLogCheckpoint,
+              "FlEngine::RestoreFromRecovery requires durability = "
+              "log+checkpoint");
+  SIMDC_CHECK(rounds_started_ == 0 && result_.rounds.empty(),
+              "FlEngine::RestoreFromRecovery: engine already ran");
+  auto recovered = durable_->BeginResume(storage_);
+  if (!recovered.ok()) return recovered.error();
+  if (!recovered->has_checkpoint) {
+    return NotFound("no checkpoint in '" + config_.durability.dir +
+                    "'; run fresh instead");
+  }
+  const persist::CheckpointState& cp = recovered->checkpoint;
+
+  next_message_id_ = cp.next_message_id;
+  rounds_started_ = static_cast<std::size_t>(cp.rounds_started);
+  last_recorded_round_ = static_cast<std::size_t>(cp.last_recorded_round);
+  result_.messages_emitted = static_cast<std::size_t>(cp.messages_emitted);
+  result_.rounds.clear();
+  result_.rounds.reserve(cp.rounds.size());
+  for (const persist::CheckpointRound& row : cp.rounds) {
+    RoundMetrics m;
+    m.round = static_cast<std::size_t>(row.round);
+    m.time = row.time;
+    m.test_accuracy = row.test_accuracy;
+    m.test_logloss = row.test_logloss;
+    m.train_accuracy = row.train_accuracy;
+    m.train_logloss = row.train_logloss;
+    m.clients = static_cast<std::size_t>(row.clients);
+    m.samples = static_cast<std::size_t>(row.samples);
+    result_.rounds.push_back(m);
+  }
+  round_blob_ids_.clear();
+  round_blob_ids_.reserve(cp.pending_delete_blobs.size());
+  for (const std::uint64_t id : cp.pending_delete_blobs) {
+    round_blob_ids_.push_back(BlobId(id));
+  }
+  service_->RestoreSnapshot(cp.aggregation);
+  restored_stats_ = cp.dispatch;
+  has_restored_stats_ = true;
+  if (metrics_ != nullptr) {
+    metrics_->Restore(cp.perf_samples, cp.scalars);
+  }
+  // Re-anchor every loop at the checkpoint's virtual time before anything
+  // is scheduled, so ScheduleAt clamping and FIFO tie-breaks behave as
+  // they did in the original run.
+  loop_.FastForwardTo(cp.resume_t0);
+  for (FleetShard& shard : shards_) {
+    shard.loop->FastForwardTo(cp.resume_t0);
+  }
+  resume_round_ = static_cast<std::size_t>(cp.next_round);
+  resume_t0_ = cp.resume_t0;
+  resume_pending_ = true;
+  // Journal attaches only now: the log replay above must not re-log.
+  storage_.set_journal(durable_.get());
+  return Status::Ok();
 }
 
 }  // namespace simdc::core

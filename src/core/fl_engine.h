@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cloud/aggregation.h"
+#include "cloud/database.h"
 #include "cloud/payload_decoder.h"
 #include "cloud/storage.h"
 #include "common/rng.h"
@@ -29,6 +30,7 @@
 #include "flow/shard_merger.h"
 #include "ml/metrics.h"
 #include "ml/operators.h"
+#include "persist/durable_store.h"
 #include "sim/event_loop.h"
 
 namespace simdc::core {
@@ -169,6 +171,17 @@ struct FlExperimentConfig {
   /// discipline). Exact-microsecond cross-plane collisions resolve
   /// cloud-plane-first, then shard order (see sim::LockstepGroup).
   std::size_t shards = 1;
+  /// Durability plane (spec: [execution] durability = off | log |
+  /// log+checkpoint, durability_dir = path). kOff (default) keeps the
+  /// in-memory store and is bit-identical to the historical engine — no
+  /// journal is attached, no I/O happens. kLog appends every BlobStore
+  /// mutation to an on-disk record log, group-committed once per round
+  /// boundary. kLogCheckpoint additionally writes an atomic aggregator
+  /// checkpoint at each round boundary; a crashed run restored with
+  /// RestoreFromRecovery() re-executes the interrupted round and finishes
+  /// with bit-identical FlRunResult, counters and dispatch stats
+  /// (persist::DurableStore documents the quiescent-boundary caveat).
+  persist::DurabilityConfig durability;
   std::uint64_t seed = 1;
   TaskId task = TaskId(1);
 };
@@ -180,6 +193,24 @@ class FlEngine {
 
   /// Runs the experiment to completion and returns per-round metrics.
   FlRunResult Run();
+
+  /// Prepares this (freshly constructed) engine to resume a crashed
+  /// log+checkpoint run from `config.durability.dir`: loads the latest
+  /// valid checkpoint, replays the blob log's valid prefix into the store
+  /// (truncating any torn tail), restores aggregator / metrics / dispatch
+  /// state, fast-forwards every event loop to the checkpoint time, and
+  /// arms Run() to re-enter at the interrupted round. Must be called
+  /// before Run() and on an engine that has not run yet. Returns NotFound
+  /// when no checkpoint exists (caller should run fresh instead).
+  Status RestoreFromRecovery();
+
+  /// Optional metrics sink checkpointed alongside the aggregator (the
+  /// platform wires its MetricsDatabase here). Checkpoints capture the
+  /// database's rows in insertion order; RestoreFromRecovery replays them.
+  void set_metrics_database(cloud::MetricsDatabase* db) { metrics_ = db; }
+
+  /// Durability plane, or nullptr when config.durability.mode == kOff.
+  const persist::DurableStore* durable_store() const { return durable_.get(); }
 
   const cloud::AggregationService& aggregation() const { return *service_; }
   /// Single-fleet flow service; holds no tasks when the run is sharded.
@@ -224,6 +255,15 @@ class FlEngine {
   void RecordRound(const cloud::AggregationRecord& record,
                    const ml::LrModel& model);
   bool ShouldStop() const;
+  /// Commits the pending blob-log records (one append + fsync) and, on the
+  /// log+checkpoint plane, atomically publishes a checkpoint of the state
+  /// a resumed run needs to re-enter at round `rounds_started_`. I/O
+  /// failures are logged and the run continues (durability degrades; the
+  /// simulation result is unaffected).
+  void PersistRoundBoundary(const cloud::AggregationRecord& record);
+  /// Dispatch stats of this process's run, before the restored-prefix
+  /// merge that dispatch_stats() applies on recovered engines.
+  flow::DispatchStats LocalDispatchStats() const;
 
   sim::EventLoop& loop_;
   const data::FederatedDataset& dataset_;
@@ -267,6 +307,22 @@ class FlEngine {
   std::vector<data::Example> train_eval_pool_;
   std::uint64_t next_message_id_ = 1;
   sim::EventHandle stall_event_ = 0;
+  /// Durability plane (null when config_.durability.mode == kOff). The
+  /// journal is attached to storage_ only after BeginFresh/BeginResume so
+  /// recovery replay is never re-journaled.
+  std::unique_ptr<persist::DurableStore> durable_;
+  /// Optional metrics sink included in checkpoints (not owned).
+  cloud::MetricsDatabase* metrics_ = nullptr;
+  /// Dispatch stats recovered from the checkpoint; dispatch_stats()
+  /// prepends them to this process's stats so a resumed run reports the
+  /// same merged log as an uninterrupted one (every post-checkpoint tick
+  /// stamps >= the checkpoint time, so prefix order is global order).
+  flow::DispatchStats restored_stats_;
+  bool has_restored_stats_ = false;
+  /// Set by RestoreFromRecovery; Run() consumes it to re-enter mid-run.
+  bool resume_pending_ = false;
+  std::size_t resume_round_ = 0;
+  SimTime resume_t0_ = 0;
 };
 
 }  // namespace simdc::core

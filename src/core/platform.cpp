@@ -176,6 +176,9 @@ FlRunResult Platform::RunFlExperiment(const data::FederatedDataset& dataset,
   // ignores it when sequential is forced, reuses it when the width
   // matches, and owns a private pool otherwise.
   FlEngine engine(loop_, dataset, std::move(config), &workers_);
+  // Durable runs checkpoint the platform's metrics database alongside the
+  // aggregator so a resumed experiment reports identical rows.
+  engine.set_metrics_database(&metrics_);
   return engine.Run();
 }
 

@@ -46,7 +46,11 @@ enum class DecodePlane {
 /// deferred, delivery-ordered accounting at the serial accumulate point.
 struct DecodedUpdate {
   /// Where the speculative fetch + decode gave up (kNone on success).
-  enum class Failure { kNone, kMissingBlob, kUndecodable };
+  /// kMissingBlob is strictly "the store answered kNotFound" (reclaimed or
+  /// never-written payload); kStoreError is any other store failure (an
+  /// I/O fault from the durability plane) — the two are accounted in
+  /// different counters at the serial commit point.
+  enum class Failure { kNone, kMissingBlob, kUndecodable, kStoreError };
 
   Message message;
   /// Decoded payload model; nullptr when failure != kNone. Shared ownership

@@ -6,6 +6,7 @@
 // weighted by their sample counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -42,6 +43,22 @@ class FedAvgAggregator {
 
   std::size_t clients() const { return clients_; }
   std::size_t total_samples() const { return total_samples_; }
+
+  /// Raw accumulator state, exposed bit-exactly for checkpointing.
+  std::span<const double> accumulator() const { return accumulator_; }
+  double bias_accumulator() const { return bias_accumulator_; }
+
+  /// Restores accumulator state from a checkpoint. `accumulator` must
+  /// match this aggregator's dimension.
+  void Restore(std::span<const double> accumulator, double bias_accumulator,
+               std::size_t total_samples, std::size_t clients) {
+    SIMDC_CHECK(accumulator.size() == accumulator_.size(),
+                "FedAvgAggregator::Restore: dimension mismatch");
+    std::copy(accumulator.begin(), accumulator.end(), accumulator_.begin());
+    bias_accumulator_ = bias_accumulator;
+    total_samples_ = total_samples;
+    clients_ = clients;
+  }
 
  private:
   /// Accumulates weight * sample_count in double precision.

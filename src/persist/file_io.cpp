@@ -1,0 +1,236 @@
+#include "persist/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace simdc::persist {
+
+namespace {
+
+Error Errno(const std::string& op, const std::string& path) {
+  return Unavailable(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write(2) until done (short writes are legal for regular files under
+/// signals; loop so callers see all-or-error).
+Status WriteAll(int fd, const std::string& path,
+                std::span<const std::byte> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RealFileIo::Append(const std::string& path,
+                          std::span<const std::byte> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open for append", path);
+  const Status written = WriteAll(fd, path, bytes);
+  ::close(fd);
+  return written;
+}
+
+Status RealFileIo::Sync(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open for sync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+Status RealFileIo::WriteFile(const std::string& path,
+                             std::span<const std::byte> bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open for write", path);
+  Status result = WriteAll(fd, path, bytes);
+  if (result.ok() && ::fsync(fd) != 0) result = Errno("fsync", path);
+  ::close(fd);
+  return result;
+}
+
+Status RealFileIo::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename to '" + to + "' from", from);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> RealFileIo::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFound("no such file: " + path);
+    return Errno("open for read", path);
+  }
+  std::vector<std::byte> out;
+  std::byte buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Error e = Errno("read", path);
+      ::close(fd);
+      return e;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Result<std::uint64_t> RealFileIo::FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return NotFound("no such file: " + path);
+    return Errno("stat", path);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status RealFileIo::TruncateTo(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::Ok();
+}
+
+bool RealFileIo::Exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RealFileIo::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status RealFileIo::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Unavailable("mkdir -p '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
+RealFileIo& RealFileIo::Instance() {
+  static RealFileIo io;
+  return io;
+}
+
+std::uint64_t FaultInjector::TornLength(std::uint64_t configured,
+                                        std::uint64_t index,
+                                        std::uint64_t size) const {
+  if (configured != FaultPlan::kSeedDerived) {
+    return configured < size ? configured : size;
+  }
+  return SplitMix64(plan_.seed ^ (index * 0x9E3779B97F4A7C15ULL)) % (size + 1);
+}
+
+Status FaultInjector::Append(const std::string& path,
+                             std::span<const std::byte> bytes) {
+  ++appends_;
+  if (plan_.crash_on_append != 0 && appends_ == plan_.crash_on_append) {
+    const std::uint64_t keep =
+        TornLength(plan_.torn_keep_bytes, appends_, bytes.size());
+    (void)inner_->Append(path, bytes.subspan(0, keep));
+    throw SimulatedCrash("crash on append #" + std::to_string(appends_) +
+                         " after " + std::to_string(keep) + "/" +
+                         std::to_string(bytes.size()) + " bytes of '" + path +
+                         "'");
+  }
+  return inner_->Append(path, bytes);
+}
+
+Status FaultInjector::Sync(const std::string& path) {
+  ++syncs_;
+  if (plan_.fail_sync_on != 0 && syncs_ == plan_.fail_sync_on) {
+    return Unavailable("injected fsync failure #" + std::to_string(syncs_) +
+                       " on '" + path + "'");
+  }
+  return inner_->Sync(path);
+}
+
+Status FaultInjector::WriteFile(const std::string& path,
+                                std::span<const std::byte> bytes) {
+  ++write_files_;
+  if (plan_.crash_on_write_file != 0 &&
+      write_files_ == plan_.crash_on_write_file) {
+    const std::uint64_t keep =
+        TornLength(plan_.torn_keep_bytes, write_files_, bytes.size());
+    (void)inner_->WriteFile(path, bytes.subspan(0, keep));
+    throw SimulatedCrash("crash on write #" + std::to_string(write_files_) +
+                         " after " + std::to_string(keep) + "/" +
+                         std::to_string(bytes.size()) + " bytes of '" + path +
+                         "'");
+  }
+  return inner_->WriteFile(path, bytes);
+}
+
+Status FaultInjector::Rename(const std::string& from, const std::string& to) {
+  ++renames_;
+  if (plan_.crash_before_rename != 0 &&
+      renames_ == plan_.crash_before_rename) {
+    throw SimulatedCrash("crash before rename #" + std::to_string(renames_) +
+                         " of '" + from + "'");
+  }
+  const Status renamed = inner_->Rename(from, to);
+  if (plan_.crash_after_rename != 0 && renames_ == plan_.crash_after_rename) {
+    throw SimulatedCrash("crash after rename #" + std::to_string(renames_) +
+                         " to '" + to + "'");
+  }
+  return renamed;
+}
+
+Result<std::vector<std::byte>> FaultInjector::ReadFile(
+    const std::string& path) {
+  ++reads_;
+  auto bytes = inner_->ReadFile(path);
+  if (bytes.ok() && plan_.short_read_on != 0 &&
+      reads_ == plan_.short_read_on) {
+    const std::uint64_t keep =
+        TornLength(plan_.short_read_bytes, reads_, bytes->size());
+    bytes->resize(keep);
+  }
+  return bytes;
+}
+
+Result<std::uint64_t> FaultInjector::FileSize(const std::string& path) {
+  return inner_->FileSize(path);
+}
+
+Status FaultInjector::TruncateTo(const std::string& path,
+                                 std::uint64_t size) {
+  return inner_->TruncateTo(path, size);
+}
+
+bool FaultInjector::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
+Status FaultInjector::Remove(const std::string& path) {
+  return inner_->Remove(path);
+}
+
+Status FaultInjector::CreateDirs(const std::string& path) {
+  return inner_->CreateDirs(path);
+}
+
+}  // namespace simdc::persist

@@ -1,0 +1,161 @@
+// File I/O seam of the durability plane.
+//
+// All disk traffic of the durable cloud store (blob-log appends, fsync
+// barriers, checkpoint temp-file + rename) goes through the FileIo
+// interface, for one reason: crash-recovery is only a *testable* property
+// if the test can make the I/O fail at chosen points. RealFileIo is the
+// POSIX implementation; FaultInjector wraps any FileIo and injects
+// seed-deterministic faults — a simulated process kill mid-append (torn
+// final write), a failed fsync, a short read — so DurableRecoveryTest can
+// crash the engine at every interesting byte and prove recovery lands on a
+// valid prefix state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace simdc::persist {
+
+/// Minimal file-system surface the durability plane needs. Paths are plain
+/// strings; implementations must be usable from one thread at a time (the
+/// durable store serializes calls on the engine's serial plane).
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  /// Appends `bytes` to `path`, creating the file if missing.
+  virtual Status Append(const std::string& path,
+                        std::span<const std::byte> bytes) = 0;
+
+  /// Durability barrier: flushes `path`'s written data to stable storage.
+  virtual Status Sync(const std::string& path) = 0;
+
+  /// Creates/truncates `path` with `bytes` and syncs it (checkpoint temp
+  /// files; pair with Rename for atomic publication).
+  virtual Status WriteFile(const std::string& path,
+                           std::span<const std::byte> bytes) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Whole-file read. A short read (fewer bytes than the file holds) is a
+  /// legal outcome under injected faults; recovery treats the missing tail
+  /// as torn.
+  virtual Result<std::vector<std::byte>> ReadFile(const std::string& path) = 0;
+
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status TruncateTo(const std::string& path, std::uint64_t size) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+};
+
+/// POSIX-backed FileIo. Every call opens/closes its own descriptor —
+/// O(1) syscalls per call, and the durable store only calls at group-commit
+/// and checkpoint boundaries, so descriptor churn is off the hot path (and
+/// no descriptor can leak across a simulated crash).
+class RealFileIo final : public FileIo {
+ public:
+  Status Append(const std::string& path,
+                std::span<const std::byte> bytes) override;
+  Status Sync(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   std::span<const std::byte> bytes) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::byte>> ReadFile(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Status TruncateTo(const std::string& path, std::uint64_t size) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+
+  /// Process-wide instance (the default when DurabilityConfig::io is null).
+  static RealFileIo& Instance();
+};
+
+/// Thrown by FaultInjector at a configured crash point: models the process
+/// dying mid-I/O. Tests catch it, destroy the engine, and recover from
+/// whatever reached the (real) files — including the torn tail the
+/// injector left behind.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic fault schedule for one FaultInjector. Operation indices
+/// are 1-based and count calls of that operation kind on the injector;
+/// 0 disables the fault. Unspecified torn/short lengths derive from `seed`
+/// so sweeps over seeds explore different byte offsets reproducibly.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Crash on the Nth Append: write only `torn_keep_bytes` of it, throw.
+  std::uint64_t crash_on_append = 0;
+  /// Bytes of the crashing append that reach the file (kSeedDerived =
+  /// SplitMix64(seed ^ append index) % (size + 1)).
+  std::uint64_t torn_keep_bytes = kSeedDerived;
+  /// Crash on the Nth WriteFile: leave a torn temp file, throw.
+  std::uint64_t crash_on_write_file = 0;
+  /// Crash around the Nth Rename: before applying it (torn-checkpoint
+  /// publication) or after (checkpoint durable, crash before anything else).
+  std::uint64_t crash_before_rename = 0;
+  std::uint64_t crash_after_rename = 0;
+  /// The Nth Sync fails with kUnavailable (no crash) — models fsync EIO.
+  std::uint64_t fail_sync_on = 0;
+  /// The Nth ReadFile returns only a prefix (length seed-derived unless
+  /// `short_read_bytes` pins it).
+  std::uint64_t short_read_on = 0;
+  std::uint64_t short_read_bytes = kSeedDerived;
+
+  static constexpr std::uint64_t kSeedDerived = ~std::uint64_t{0};
+};
+
+/// FileIo decorator injecting the faults a FaultPlan schedules. All
+/// bookkeeping is plain counters — no RNG draws at call time beyond the
+/// SplitMix64 hash of (seed, op index) — so a given plan produces the same
+/// fault bytes on every run.
+class FaultInjector final : public FileIo {
+ public:
+  explicit FaultInjector(FaultPlan plan, FileIo* inner = nullptr)
+      : plan_(plan), inner_(inner != nullptr ? inner : &RealFileIo::Instance()) {}
+
+  Status Append(const std::string& path,
+                std::span<const std::byte> bytes) override;
+  Status Sync(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   std::span<const std::byte> bytes) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::byte>> ReadFile(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  Status TruncateTo(const std::string& path, std::uint64_t size) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t syncs() const { return syncs_; }
+  std::uint64_t write_files() const { return write_files_; }
+  std::uint64_t renames() const { return renames_; }
+  std::uint64_t reads() const { return reads_; }
+
+ private:
+  std::uint64_t TornLength(std::uint64_t configured, std::uint64_t index,
+                           std::uint64_t size) const;
+
+  FaultPlan plan_;
+  FileIo* inner_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t write_files_ = 0;
+  std::uint64_t renames_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace simdc::persist

@@ -1,0 +1,155 @@
+// Byte-level wire helpers for the durability plane.
+//
+// Checkpoints and blob-log records are flat little-endian images whose
+// bit-exactness *is* the recovery contract: a recovered f32 weight or f64
+// metric must be the same bits that were checkpointed, so every scalar is
+// moved with memcpy (never a lossy cast) and every read is bounds-checked
+// so a torn or corrupt file can never read past its buffer. CRC-32 (IEEE,
+// reflected 0xEDB88320 — the zlib/ethernet polynomial) frames both record
+// and checkpoint payloads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace simdc::persist {
+
+namespace detail {
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[s][i] is the CRC of byte i followed by s zero bytes, letting the
+// hot loop fold 8 input bytes per iteration. Blob payloads dominate the
+// log, so the CRC runs over every model upload — the sliced loop is ~4x
+// the byte loop and keeps the durability plane off the round's critical
+// path.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> MakeCrc32Tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t s = 1; s < 8; ++s) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[s][i] = c;
+    }
+  }
+  return tables;
+}
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Tables =
+    MakeCrc32Tables();
+}  // namespace detail
+
+/// CRC-32 (IEEE) of `bytes`; init/xorout 0xFFFFFFFF. The 8-byte fold
+/// loads words host-endian — same single-architecture contract as the
+/// rest of the wire format (see file comment).
+inline std::uint32_t Crc32(std::span<const std::byte> bytes) {
+  const auto& t = detail::kCrc32Tables;
+  std::uint32_t c = 0xFFFFFFFFu;
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+  }
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ static_cast<std::uint8_t>(*p)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Appends fixed-width scalars to a byte buffer. All multi-byte values are
+/// host-endian (the platform targets one architecture per deployment; a
+/// checkpoint is not a network interchange format), moved with memcpy so
+/// float/double bit patterns survive exactly.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out_.size();
+    out_.resize(at + sizeof(T));
+    std::memcpy(out_.data() + at, &value, sizeof(T));
+  }
+
+  void PutBytes(std::span<const std::byte> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  void PutString(const std::string& s) {
+    Put<std::uint64_t>(s.size());
+    PutBytes(std::as_bytes(std::span(s.data(), s.size())));
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Bounds-checked reader over a byte image. Every accessor reports
+/// exhaustion through ok() instead of reading past the end, so recovery
+/// can treat any malformed image as "corrupt" without UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> GetBytes(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    const auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string GetString() {
+    const auto n = Get<std::uint64_t>();
+    const auto bytes = GetBytes(static_cast<std::size_t>(n));
+    return ok_ ? std::string(reinterpret_cast<const char*>(bytes.data()),
+                             bytes.size())
+               : std::string();
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace simdc::persist

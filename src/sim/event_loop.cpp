@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.h"
+
 namespace simdc::sim {
 
 EventHandle EventLoop::ScheduleAt(SimTime t, std::function<void()> fn) {
@@ -61,6 +63,13 @@ bool EventLoop::PopNext(Event& out) {
     return true;
   }
   return false;
+}
+
+void EventLoop::FastForwardTo(SimTime t) {
+  if (t <= clock_.Now()) return;
+  SIMDC_CHECK(NextEventTime() >= t,
+              "EventLoop::FastForwardTo would skip pending events");
+  clock_.AdvanceTo(t);
 }
 
 std::size_t EventLoop::Run() {

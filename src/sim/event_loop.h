@@ -70,6 +70,14 @@ class EventLoop {
   static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
   SimTime NextEventTime();
 
+  /// Advances the clock to `t` without running anything (no-op when `t` is
+  /// not ahead of Now()). The recovery path uses this to re-anchor a fresh
+  /// loop at a checkpoint's virtual time before any event is scheduled, so
+  /// ScheduleAt clamping and FIFO tie-breaks behave exactly as they did in
+  /// the original run. Calling it with events pending earlier than `t`
+  /// would silently reorder them, so that is a precondition violation.
+  void FastForwardTo(SimTime t);
+
   /// Runs until no events remain. Returns number of events executed.
   std::size_t Run();
 

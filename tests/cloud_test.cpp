@@ -290,6 +290,50 @@ TEST(MetricsDatabaseTest, ScalarSeries) {
   EXPECT_TRUE(db.QueryScalar("nope").empty());
 }
 
+TEST(MetricsDatabaseTest, ScalarRowsPreserveGlobalInsertionOrder) {
+  // Checkpoint replay depends on ScalarRows() returning the rows in the
+  // exact order they were recorded, interleaved across series — not
+  // grouped by series name.
+  MetricsDatabase db;
+  db.RecordScalar("loss", Seconds(1), 0.9);
+  db.RecordScalar("acc", Seconds(1), 0.5);
+  db.RecordScalar("loss", Seconds(2), 0.7);
+  db.RecordScalar("acc", Seconds(2), 0.6);
+  const auto rows = db.ScalarRows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(db.scalar_row_count(), 4u);
+  EXPECT_EQ(rows[0].series, "loss");
+  EXPECT_EQ(rows[1].series, "acc");
+  EXPECT_EQ(rows[2].series, "loss");
+  EXPECT_EQ(rows[3].series, "acc");
+  EXPECT_DOUBLE_EQ(rows[2].value, 0.7);
+}
+
+TEST(MetricsDatabaseTest, FlushRestoreRoundTrips) {
+  MetricsDatabase db;
+  db.Record(Sample(TaskId(1), PhoneId(1), 0, device::ApkStage::kTraining,
+                   360.0, 1024));
+  db.Record(Sample(TaskId(1), PhoneId(2), 1, device::ApkStage::kTraining,
+                   200.0, 2048));
+  db.RecordScalar("loss", Seconds(1), 0.9);
+  db.RecordScalar("loss", Seconds(2), 0.7);
+  db.RecordScalar("acc", Seconds(2), 0.6);
+  EXPECT_EQ(db.Flush(), 5u);  // 2 samples + 3 scalar rows
+
+  MetricsDatabase restored;
+  restored.Restore(db.Samples(), db.ScalarRows());
+  EXPECT_EQ(restored.sample_count(), db.sample_count());
+  EXPECT_EQ(restored.scalar_row_count(), db.scalar_row_count());
+  EXPECT_EQ(restored.QueryTask(TaskId(1)).size(), 2u);
+  const auto loss = restored.QueryScalar("loss");
+  ASSERT_EQ(loss.size(), 2u);
+  EXPECT_EQ(loss[0].first, Seconds(1));
+  EXPECT_DOUBLE_EQ(loss[1].second, 0.7);
+  const auto again = restored.ScalarRows();
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[2].series, "acc");
+}
+
 // ---------- AggregationService ----------
 
 class AggregationTest : public ::testing::Test {
@@ -426,6 +470,79 @@ TEST_F(AggregationTest, MissingBlobCountsAsDecodeFailure) {
   service.Deliver(m, 0);
   EXPECT_EQ(service.decode_failures(), 1u);
   EXPECT_EQ(service.pending_samples(), 0u);
+}
+
+TEST_F(AggregationTest, StoreIoErrorBooksAsStoreErrorNotDecodeFailure) {
+  // A non-kNotFound store failure (durability-plane I/O fault) must land in
+  // store_errors, not decode_failures — the payload exists, the read broke.
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store_, config);
+  const flow::Message good = Upload(store_, 1.0f, 10, 1);
+  const flow::Message faulted = Upload(store_, 2.0f, 10, 2);
+  store_.set_read_fault_hook([&](BlobId id) -> Status {
+    if (id == faulted.payload) return Unavailable("injected read fault");
+    return Status::Ok();
+  });
+
+  service.Deliver(faulted, 0);
+  EXPECT_EQ(service.store_errors(), 1u);
+  EXPECT_EQ(service.decode_failures(), 0u);
+  EXPECT_EQ(service.messages_received(), 1u);
+  EXPECT_EQ(service.pending_samples(), 0u);  // update dropped, not absorbed
+
+  // Healthy deliveries still flow, and a genuinely missing blob still books
+  // as a decode failure alongside the I/O fault.
+  service.Deliver(good, 0);
+  EXPECT_EQ(service.pending_samples(), 10u);
+  flow::Message missing;
+  missing.task = TaskId(1);
+  missing.payload = BlobId(999);  // never stored
+  missing.sample_count = 5;
+  service.Deliver(missing, 0);
+  EXPECT_EQ(service.store_errors(), 1u);
+  EXPECT_EQ(service.decode_failures(), 1u);
+}
+
+TEST_F(AggregationTest, DecoderMapsStoreFaultsToDistinctFailures) {
+  // BlobModelDecoder must keep the taxonomy the serial side accounts on:
+  // kNotFound → kMissingBlob, any other store error → kStoreError.
+  const flow::Message ok_msg = Upload(store_, 1.0f, 10, 1);
+  const flow::Message faulted = Upload(store_, 2.0f, 10, 2);
+  flow::Message missing;
+  missing.task = TaskId(1);
+  missing.payload = BlobId(999);
+  missing.sample_count = 5;
+  store_.set_read_fault_hook([&](BlobId id) -> Status {
+    if (id == faulted.payload) return Unavailable("injected read fault");
+    return Status::Ok();
+  });
+
+  BlobModelDecoder decoder(store_);
+  const flow::DecodedUpdate decoded = decoder.Decode(ok_msg);
+  EXPECT_TRUE(decoded.decoded());
+  EXPECT_EQ(decoded.failure, flow::DecodedUpdate::Failure::kNone);
+
+  const flow::DecodedUpdate io_fault = decoder.Decode(faulted);
+  EXPECT_FALSE(io_fault.decoded());
+  EXPECT_EQ(io_fault.failure, flow::DecodedUpdate::Failure::kStoreError);
+  EXPECT_EQ(io_fault.error.error().code(), ErrorCode::kUnavailable);
+
+  const flow::DecodedUpdate gone = decoder.Decode(missing);
+  EXPECT_FALSE(gone.decoded());
+  EXPECT_EQ(gone.failure, flow::DecodedUpdate::Failure::kMissingBlob);
+
+  // The decoded plane books them into the same counters as the legacy one.
+  AggregationConfig config;
+  config.model_dim = kDim;
+  AggregationService service(loop_, store_, config);
+  const std::vector<flow::DecodedUpdate> updates = {decoded, io_fault, gone};
+  const std::vector<SimTime> arrivals = {0, 0, 0};
+  service.DeliverDecodedBatch(updates, arrivals);
+  EXPECT_EQ(service.messages_received(), 3u);
+  EXPECT_EQ(service.store_errors(), 1u);
+  EXPECT_EQ(service.decode_failures(), 1u);
+  EXPECT_EQ(service.pending_samples(), 10u);
 }
 
 TEST_F(AggregationTest, CorruptBlobRejected) {

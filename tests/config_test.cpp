@@ -368,6 +368,55 @@ TEST(ExecutionConfigTest, ParsesReclaimPayloadBlobs) {
   EXPECT_FALSE(missing_config->reclaim_payload_blobs);  // off by default
 }
 
+TEST(ExecutionConfigTest, ParsesDurability) {
+  auto log = ParseIni("[execution]\ndurability = log\ndurability_dir = /tmp/d\n");
+  ASSERT_TRUE(log.ok());
+  auto log_config = LoadExecution(*log);
+  ASSERT_TRUE(log_config.ok());
+  EXPECT_EQ(log_config->durability, persist::DurabilityMode::kLog);
+  EXPECT_EQ(log_config->durability_dir, "/tmp/d");
+
+  auto ckpt = ParseIni(
+      "[execution]\ndurability = LOG+CHECKPOINT\ndurability_dir = state\n");
+  ASSERT_TRUE(ckpt.ok());  // case-folded like the other enum keys
+  auto ckpt_config = LoadExecution(*ckpt);
+  ASSERT_TRUE(ckpt_config.ok());
+  EXPECT_EQ(ckpt_config->durability, persist::DurabilityMode::kLogCheckpoint);
+
+  auto off = ParseIni("[execution]\ndurability = off\n");
+  ASSERT_TRUE(off.ok());
+  auto off_config = LoadExecution(*off);
+  ASSERT_TRUE(off_config.ok());  // off needs no directory
+  EXPECT_EQ(off_config->durability, persist::DurabilityMode::kOff);
+
+  // Missing key keeps the zero-overhead default.
+  auto missing = ParseIni("[execution]\nparallelism = 2\n");
+  ASSERT_TRUE(missing.ok());
+  auto missing_config = LoadExecution(*missing);
+  ASSERT_TRUE(missing_config.ok());
+  EXPECT_EQ(missing_config->durability, persist::DurabilityMode::kOff);
+  EXPECT_TRUE(missing_config->durability_dir.empty());
+}
+
+TEST(ExecutionConfigTest, RejectsBadDurability) {
+  // Junk mode names are rejected loudly.
+  auto junk = ParseIni("[execution]\ndurability = sometimes\n");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(LoadExecution(*junk).ok());
+
+  // Durable modes without a directory have nowhere to write — reject at
+  // load time rather than failing mid-run.
+  auto no_dir = ParseIni("[execution]\ndurability = log\n");
+  ASSERT_TRUE(no_dir.ok());
+  auto no_dir_config = LoadExecution(*no_dir);
+  ASSERT_FALSE(no_dir_config.ok());
+  EXPECT_EQ(no_dir_config.error().code(), ErrorCode::kInvalidArgument);
+
+  auto ckpt_no_dir = ParseIni("[execution]\ndurability = log+checkpoint\n");
+  ASSERT_TRUE(ckpt_no_dir.ok());
+  EXPECT_FALSE(LoadExecution(*ckpt_no_dir).ok());
+}
+
 // ---------- round trip into the platform types ----------
 
 TEST(RoundTripTest, FullSpecProducesSchedulableTask) {
