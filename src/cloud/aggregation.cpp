@@ -21,6 +21,54 @@ void AggregationService::Start() {
   if (config_.trigger == AggregationTrigger::kScheduled) ArmSchedule();
 }
 
+void AggregationService::OnRoundOpened(SimTime t0) {
+  if (!DegradationActive() || stopped_) return;
+  if (deadline_event_ != 0) {
+    loop_.Cancel(deadline_event_);
+    deadline_event_ = 0;
+  }
+  extensions_used_ = 0;
+  // Stale-event guard: the deadline only acts on the round it was armed
+  // for. If the trigger closes that round first, history_ grows and the
+  // fired event sees the mismatch.
+  deadline_round_ = history_.size();
+  ArmDeadline(t0 + config_.round_deadline);
+}
+
+void AggregationService::ArmDeadline(SimTime when) {
+  deadline_event_ = loop_.ScheduleAt(when, [this] { OnDeadline(); });
+}
+
+void AggregationService::OnDeadline() {
+  deadline_event_ = 0;
+  if (stopped_) return;
+  if (history_.size() != deadline_round_) return;  // round closed on time
+  const SimTime now = loop_.Now();
+  if (aggregator_.clients() >= config_.round_quorum) {
+    // Quorum met: commit with what arrived — a degraded round, counted
+    // before the aggregate so the on_aggregate callback (which may read
+    // the counter to book degradation metrics) sees it.
+    ++deadline_commits_;
+    if (!AggregateAt(now)) --deadline_commits_;
+    return;
+  }
+  const SimDuration extension = config_.round_extension > 0
+                                    ? config_.round_extension
+                                    : config_.round_deadline;
+  if (extensions_used_ < config_.max_round_extensions) {
+    ++extensions_used_;
+    ++round_extensions_;
+    ArmDeadline(now + extension);
+    return;
+  }
+  // Extensions exhausted below quorum: abort. The partial accumulator is
+  // discarded (those updates trained against a model this round will never
+  // publish) and the driver advances via the abort callback.
+  ++aborted_rounds_;
+  aggregator_.Reset();
+  if (on_round_aborted_) on_round_aborted_(now);
+}
+
 void AggregationService::ArmSchedule() {
   loop_.ScheduleAfter(config_.schedule_period, [this] {
     if (stopped_) return;
@@ -160,6 +208,9 @@ AggregationSnapshot AggregationService::Snapshot() const {
   s.decode_failures = decode_failures_;
   s.stale_rejections = stale_rejections_;
   s.store_errors = store_errors_;
+  s.deadline_commits = deadline_commits_;
+  s.round_extensions = round_extensions_;
+  s.aborted_rounds = aborted_rounds_;
   s.model_dim = global_model_.dim();
   s.global_weights.assign(global_model_.weights().begin(),
                           global_model_.weights().end());
@@ -181,6 +232,9 @@ void AggregationService::RestoreSnapshot(const AggregationSnapshot& snapshot) {
   decode_failures_ = static_cast<std::size_t>(snapshot.decode_failures);
   stale_rejections_ = static_cast<std::size_t>(snapshot.stale_rejections);
   store_errors_ = static_cast<std::size_t>(snapshot.store_errors);
+  deadline_commits_ = static_cast<std::size_t>(snapshot.deadline_commits);
+  round_extensions_ = static_cast<std::size_t>(snapshot.round_extensions);
+  aborted_rounds_ = static_cast<std::size_t>(snapshot.aborted_rounds);
   ml::LrModel model(snapshot.model_dim);
   std::copy(snapshot.global_weights.begin(), snapshot.global_weights.end(),
             model.weights().begin());
@@ -209,6 +263,14 @@ bool AggregationService::AggregateAt(SimTime when) {
   global_model_ = std::move(*model);
   aggregator_.Reset();
   history_.push_back(record);
+  // The round closed: retire its deadline before on_aggregate_ runs — the
+  // callback chain may open the next round (OnRoundOpened), and that fresh
+  // deadline must survive this cleanup.
+  if (deadline_event_ != 0) {
+    loop_.Cancel(deadline_event_);
+    deadline_event_ = 0;
+  }
+  extensions_used_ = 0;
   if (on_aggregate_) on_aggregate_(record, global_model_);
   return true;
 }

@@ -50,6 +50,20 @@ struct AggregationConfig {
   /// aggregation round (production FL servers discard stale updates;
   /// keeps round timing faithful to the traffic curve, Fig. 9).
   bool reject_stale = false;
+  /// Graceful degradation: quorum/deadline policy for rounds on a churning
+  /// fleet. Engages only when BOTH round_quorum > 0 and round_deadline > 0
+  /// (the defaults reproduce pre-policy behavior exactly — no deadline
+  /// event is ever scheduled). When a round opened via OnRoundOpened
+  /// passes its deadline: quorum met -> commit with the updates on hand
+  /// (a "deadline commit", i.e. a degraded round); quorum missed ->
+  /// extend the deadline up to max_round_extensions times; extensions
+  /// exhausted -> abort the round (partial updates discarded, the
+  /// round-abort callback fires so the driver can advance).
+  std::size_t round_quorum = 0;
+  SimDuration round_deadline = 0;
+  /// Per-extension grace (0 = reuse round_deadline).
+  SimDuration round_extension = 0;
+  std::size_t max_round_extensions = 1;
 };
 
 /// One completed aggregation.
@@ -73,6 +87,10 @@ struct AggregationSnapshot {
   std::uint64_t decode_failures = 0;
   std::uint64_t stale_rejections = 0;
   std::uint64_t store_errors = 0;
+  /// Degradation accounting (quorum/deadline policy).
+  std::uint64_t deadline_commits = 0;
+  std::uint64_t round_extensions = 0;
+  std::uint64_t aborted_rounds = 0;
   std::uint32_t model_dim = 0;
   std::vector<float> global_weights;
   float global_bias = 0.0f;
@@ -90,6 +108,12 @@ class AggregationService final : public flow::CloudEndpoint {
   /// Arms the scheduled trigger (no-op for sample-threshold).
   void Start();
   void Stop() { stopped_ = true; }
+
+  /// Round lifecycle hook for the quorum/deadline policy: the driver (the
+  /// FL engine) calls this when a round opens at `t0`. Arms the round's
+  /// deadline event at t0 + round_deadline; a no-op when the policy is
+  /// disabled, so drivers can call it unconditionally.
+  void OnRoundOpened(SimTime t0);
 
   /// DeviceFlow delivery (legacy plane): fetch blob, decode model,
   /// accumulate — all inside this serial handler.
@@ -126,6 +150,14 @@ class AggregationService final : public flow::CloudEndpoint {
   /// faults occur.
   std::size_t store_errors() const { return store_errors_; }
   std::size_t pending_samples() const { return aggregator_.total_samples(); }
+  std::size_t pending_clients() const { return aggregator_.clients(); }
+  /// Degraded rounds committed at their deadline with quorum met.
+  std::size_t deadline_commits() const { return deadline_commits_; }
+  /// Deadline extensions granted to quorum-short rounds.
+  std::size_t round_extensions() const { return round_extensions_; }
+  /// Rounds aborted after exhausting extensions below quorum (their
+  /// partial updates were discarded).
+  std::size_t aborted_rounds() const { return aborted_rounds_; }
 
   /// Bit-exact state image for checkpointing (see AggregationSnapshot).
   AggregationSnapshot Snapshot() const;
@@ -140,10 +172,23 @@ class AggregationService final : public flow::CloudEndpoint {
     on_aggregate_ = std::move(callback);
   }
 
+  /// Fired when a round is aborted under the quorum/deadline policy, with
+  /// the abort time; the driver records the degraded round and advances.
+  using RoundAbortCallback = std::function<void(SimTime)>;
+  void set_on_round_aborted(RoundAbortCallback callback) {
+    on_round_aborted_ = std::move(callback);
+  }
+
   /// Forces an aggregation now (used at experiment teardown).
   bool AggregateNow() { return AggregateAt(loop_.Now()); }
 
  private:
+  bool DegradationActive() const {
+    return config_.round_quorum > 0 && config_.round_deadline > 0;
+  }
+  void ArmDeadline(SimTime when);
+  /// Deadline-event body: commit (quorum met), extend, or abort.
+  void OnDeadline();
   void ArmSchedule();
   /// Shared delivery body; `arrival` is the message's wire arrival stamp
   /// (== loop time in the per-message path, possibly ahead of loop time
@@ -167,10 +212,20 @@ class AggregationService final : public flow::CloudEndpoint {
   ml::LrModel global_model_;
   std::vector<AggregationRecord> history_;
   AggregateCallback on_aggregate_;
+  RoundAbortCallback on_round_aborted_;
   std::size_t messages_received_ = 0;
   std::size_t decode_failures_ = 0;
   std::size_t stale_rejections_ = 0;
   std::size_t store_errors_ = 0;
+  /// Quorum/deadline policy state: the pending deadline event (cancelled
+  /// when the round closes by trigger), the history length it was armed
+  /// against (stale-event guard), and extensions used this round.
+  sim::EventHandle deadline_event_ = 0;
+  std::size_t deadline_round_ = 0;
+  std::size_t extensions_used_ = 0;
+  std::size_t deadline_commits_ = 0;
+  std::size_t round_extensions_ = 0;
+  std::size_t aborted_rounds_ = 0;
   bool stopped_ = false;
 };
 

@@ -1,0 +1,49 @@
+// Deterministic message/fault hashing.
+//
+// Several planes need per-entity random decisions that are pure functions
+// of (seed, entity id, ...) — never of execution order — so outcomes stay
+// bit-identical no matter how work is partitioned across shards, threads
+// or processes: flow::Dispatcher's transmission-failure and link-retry
+// draws, and persist::FaultInjector's torn-write lengths. They all share
+// this one combine shape instead of re-deriving ad-hoc SplitMix64 mixes.
+//
+// HashCombine(key, v) reproduces the historical transmission-drop formula
+// bit for bit (SplitMix64(key ^ SplitMix64(v))), so refactoring a caller
+// onto it cannot change existing results.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace simdc {
+
+/// Mixes one 64-bit value into a key: SplitMix64(key ^ SplitMix64(value)).
+/// Both inputs pass through a full avalanche round, so nearby ids (the
+/// common case — message ids are sequential) land far apart.
+constexpr std::uint64_t HashCombine(std::uint64_t key, std::uint64_t value) {
+  return SplitMix64(key ^ SplitMix64(value));
+}
+
+/// Chains HashCombine over any number of values:
+/// DeterministicHash(k, a, b) == HashCombine(HashCombine(k, a), b).
+/// With a single value it IS HashCombine, so single-key callers pay two
+/// SplitMix64 rounds, same as the historical inline formula.
+template <typename... Rest>
+constexpr std::uint64_t DeterministicHash(std::uint64_t key,
+                                          std::uint64_t value, Rest... rest) {
+  const std::uint64_t mixed = HashCombine(key, value);
+  if constexpr (sizeof...(rest) == 0) {
+    return mixed;
+  } else {
+    return DeterministicHash(mixed, rest...);
+  }
+}
+
+/// Maps a hash to a uniform double in [0, 1) — the top-53-bit mapping every
+/// probability draw in the codebase uses (Rng::Uniform's formula).
+constexpr double HashUnit(std::uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace simdc

@@ -1,6 +1,7 @@
 #include "config/task_config.h"
 
 #include <algorithm>
+#include <initializer_list>
 
 #include "common/string_util.h"
 #include "flow/rate_functions.h"
@@ -376,7 +377,175 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
     return InvalidArgument(
         "[execution] durability_dir is required when durability is not off");
   }
+  if (auto quorum = GetInt(doc, "execution", "round_quorum"); quorum.ok()) {
+    if (*quorum < 0) {
+      return InvalidArgument("[execution] round_quorum must be >= 0");
+    }
+    config.round_quorum = static_cast<std::size_t>(*quorum);
+  } else if (has_section && quorum.error().code() != ErrorCode::kNotFound) {
+    return quorum.error();
+  }
+  if (auto deadline = GetDouble(doc, "execution", "round_deadline_s");
+      deadline.ok()) {
+    if (*deadline < 0.0) {
+      return InvalidArgument("[execution] round_deadline_s must be >= 0");
+    }
+    config.round_deadline = Seconds(*deadline);
+  } else if (has_section && deadline.error().code() != ErrorCode::kNotFound) {
+    return deadline.error();
+  }
+  if (auto extension = GetDouble(doc, "execution", "round_extension_s");
+      extension.ok()) {
+    if (*extension < 0.0) {
+      return InvalidArgument("[execution] round_extension_s must be >= 0");
+    }
+    config.round_extension = Seconds(*extension);
+  } else if (has_section && extension.error().code() != ErrorCode::kNotFound) {
+    return extension.error();
+  }
+  if (auto max_ext = GetInt(doc, "execution", "max_round_extensions");
+      max_ext.ok()) {
+    if (*max_ext < 0) {
+      return InvalidArgument("[execution] max_round_extensions must be >= 0");
+    }
+    config.max_round_extensions = static_cast<std::size_t>(*max_ext);
+  } else if (has_section && max_ext.error().code() != ErrorCode::kNotFound) {
+    return max_ext.error();
+  }
   return config;
+}
+
+namespace {
+
+/// Shared helper for [behavior]/[link] probability knobs: value must lie
+/// in [0, 1]; NotFound keeps the default.
+Result<bool> LoadUnitDouble(const IniDocument& doc, const std::string& section,
+                            const std::string& key, bool has_section,
+                            double* out) {
+  if (auto value = GetDouble(doc, section, key); value.ok()) {
+    if (*value < 0.0 || *value > 1.0) {
+      return InvalidArgument("[" + section + "] " + key + " out of [0,1]");
+    }
+    *out = *value;
+    return true;
+  } else if (has_section && value.error().code() != ErrorCode::kNotFound) {
+    return value.error();
+  }
+  return false;
+}
+
+/// Non-negative duration knob in seconds; NotFound keeps the default.
+Result<bool> LoadDurationS(const IniDocument& doc, const std::string& section,
+                           const std::string& key, bool has_section,
+                           SimDuration* out) {
+  if (auto value = GetDouble(doc, section, key); value.ok()) {
+    if (*value < 0.0) {
+      return InvalidArgument("[" + section + "] " + key + " must be >= 0");
+    }
+    *out = Seconds(*value);
+    return true;
+  } else if (has_section && value.error().code() != ErrorCode::kNotFound) {
+    return value.error();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<device::BehaviorConfig> LoadBehavior(const IniDocument& doc) {
+  device::BehaviorConfig config;
+  const bool has_section = doc.find("behavior") != doc.end();
+  if (!has_section) return config;
+  if (auto enabled = GetInt(doc, "behavior", "enabled"); enabled.ok()) {
+    config.enabled = *enabled != 0;
+  } else if (enabled.error().code() != ErrorCode::kNotFound) {
+    return enabled.error();
+  }
+  if (auto seed = GetInt(doc, "behavior", "seed"); seed.ok()) {
+    if (*seed < 0) return InvalidArgument("[behavior] seed must be >= 0");
+    config.seed = static_cast<std::uint64_t>(*seed);
+  } else if (seed.error().code() != ErrorCode::kNotFound) {
+    return seed.error();
+  }
+  struct UnitKnob {
+    const char* key;
+    double* out;
+  };
+  for (const UnitKnob& knob : std::initializer_list<UnitKnob>{
+           {"mean_availability", &config.mean_availability},
+           {"diurnal_amplitude", &config.diurnal_amplitude},
+           {"diurnal_phase", &config.diurnal_phase},
+           {"churn_rate", &config.churn_rate},
+           {"rejoin_fraction", &config.rejoin_fraction},
+           {"min_battery", &config.min_battery},
+           {"link_base_failure", &config.link_base_failure},
+           {"link_diurnal_swing", &config.link_diurnal_swing}}) {
+    if (auto loaded =
+            LoadUnitDouble(doc, "behavior", knob.key, true, knob.out);
+        !loaded.ok()) {
+      return loaded.error();
+    }
+  }
+  struct DurationKnob {
+    const char* key;
+    SimDuration* out;
+  };
+  for (const DurationKnob& knob : std::initializer_list<DurationKnob>{
+           {"diurnal_period_s", &config.diurnal_period},
+           {"churn_horizon_s", &config.churn_horizon},
+           {"churn_downtime_s", &config.churn_downtime},
+           {"battery_period_s", &config.battery_period}}) {
+    if (auto loaded = LoadDurationS(doc, "behavior", knob.key, true, knob.out);
+        !loaded.ok()) {
+      return loaded.error();
+    }
+  }
+  return config;
+}
+
+Result<flow::LinkPolicy> LoadLinkPolicy(const IniDocument& doc) {
+  flow::LinkPolicy policy;
+  const bool has_section = doc.find("link") != doc.end();
+  if (!has_section) return policy;
+  if (auto loaded =
+          LoadUnitDouble(doc, "link", "transient_failure_probability", true,
+                         &policy.transient_failure_probability);
+      !loaded.ok()) {
+    return loaded.error();
+  }
+  if (auto attempts = GetInt(doc, "link", "max_attempts"); attempts.ok()) {
+    if (*attempts < 1) {
+      return InvalidArgument("[link] max_attempts must be >= 1");
+    }
+    policy.max_attempts = static_cast<std::size_t>(*attempts);
+  } else if (attempts.error().code() != ErrorCode::kNotFound) {
+    return attempts.error();
+  }
+  if (auto loaded = LoadDurationS(doc, "link", "backoff_initial_s", true,
+                                  &policy.backoff_initial);
+      !loaded.ok()) {
+    return loaded.error();
+  }
+  if (auto multiplier = GetDouble(doc, "link", "backoff_multiplier");
+      multiplier.ok()) {
+    if (*multiplier < 1.0) {
+      return InvalidArgument("[link] backoff_multiplier must be >= 1");
+    }
+    policy.backoff_multiplier = *multiplier;
+  } else if (multiplier.error().code() != ErrorCode::kNotFound) {
+    return multiplier.error();
+  }
+  if (auto loaded = LoadDurationS(doc, "link", "backoff_max_s", true,
+                                  &policy.backoff_max);
+      !loaded.ok()) {
+    return loaded.error();
+  }
+  if (auto loaded = LoadDurationS(doc, "link", "upload_deadline_s", true,
+                                  &policy.upload_deadline);
+      !loaded.ok()) {
+    return loaded.error();
+  }
+  return policy;
 }
 
 Result<sched::TaskSpec> ParseTaskSpec(std::string_view text) {

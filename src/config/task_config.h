@@ -44,7 +44,9 @@
 
 #include "cloud/aggregation.h"
 #include "common/error.h"
+#include "device/behavior.h"
 #include "flow/decoded_update.h"
+#include "flow/device_flow.h"
 #include "flow/strategy.h"
 #include "ml/lr_model.h"
 #include "persist/durable_store.h"
@@ -129,14 +131,37 @@ struct ExecutionConfig {
   /// Directory for the blob log and checkpoints; required when durability
   /// is not off.
   std::string durability_dir;
+  /// Graceful round degradation (FlExperimentConfig semantics): a round
+  /// past round_deadline_s commits if at least round_quorum updates
+  /// arrived, else extends up to max_round_extensions times, else aborts.
+  /// Engages only when both round_quorum and round_deadline_s are set.
+  std::size_t round_quorum = 0;
+  SimDuration round_deadline = 0;
+  SimDuration round_extension = 0;
+  std::size_t max_round_extensions = 1;
 };
 
 /// Reads [execution] (parallelism = N, shards = N,
 /// decode_plane = decoded|legacy, payload_codec = fp32|fp16|int8,
 /// reclaim_payload_blobs = 0|1, durability = off|log|log+checkpoint,
-/// durability_dir = path). A missing section or key yields the
-/// defaults; malformed or negative values are rejected.
+/// durability_dir = path, round_quorum = N, round_deadline_s = S,
+/// round_extension_s = S, max_round_extensions = N). A missing section or
+/// key yields the defaults; malformed or negative values are rejected.
 Result<ExecutionConfig> LoadExecution(const IniDocument& doc);
+
+/// Reads the optional [behavior] section into a device::BehaviorConfig
+/// (enabled = 0|1, seed, mean_availability, diurnal_amplitude,
+/// diurnal_period_s, diurnal_phase, churn_rate, churn_horizon_s,
+/// rejoin_fraction, churn_downtime_s, min_battery, battery_period_s,
+/// link_base_failure, link_diurnal_swing). A missing section yields the
+/// disabled default; probabilities must lie in [0, 1].
+Result<device::BehaviorConfig> LoadBehavior(const IniDocument& doc);
+
+/// Reads the optional [link] section into a flow::LinkPolicy
+/// (transient_failure_probability, max_attempts, backoff_initial_s,
+/// backoff_multiplier, backoff_max_s, upload_deadline_s). A missing
+/// section yields the inactive default.
+Result<flow::LinkPolicy> LoadLinkPolicy(const IniDocument& doc);
 
 /// One-call convenience: parse text and build the TaskSpec.
 Result<sched::TaskSpec> ParseTaskSpec(std::string_view text);

@@ -36,7 +36,15 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
   agg.schedule_period = config_.schedule_period;
   agg.max_rounds = config_.rounds;
   agg.reject_stale = config_.reject_stale;
+  agg.round_quorum = config_.round_quorum;
+  agg.round_deadline = config_.round_deadline;
+  agg.round_extension = config_.round_extension;
+  agg.max_round_extensions = config_.max_round_extensions;
   service_ = std::make_unique<cloud::AggregationService>(loop_, storage_, agg);
+
+  if (config_.behavior.enabled) {
+    behavior_ = std::make_unique<device::BehaviorModel>(config_.behavior);
+  }
 
   if (config_.durability.mode != persist::DurabilityMode::kOff) {
     // The journal is attached to storage_ later — by Run() after
@@ -70,6 +78,7 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
       if (config_.decode_plane == flow::DecodePlane::kDecoded) {
         shard.dispatcher->set_decoder(&decoder_);
       }
+      ConfigureLinkPlane(*shard.dispatcher);
       shards_.push_back(std::move(shard));
     }
   } else {
@@ -80,6 +89,7 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
     if (config_.decode_plane == flow::DecodePlane::kDecoded) {
       flow_.FindDispatcher(config_.task)->set_decoder(&decoder_);
     }
+    ConfigureLinkPlane(*flow_.FindDispatcher(config_.task));
   }
 
   // Build the train-evaluation pool: a deterministic, capped sample of the
@@ -102,6 +112,23 @@ FlEngine::FlEngine(sim::EventLoop& loop, const data::FederatedDataset& dataset,
   }
 }
 
+void FlEngine::ConfigureLinkPlane(flow::Dispatcher& dispatcher) {
+  dispatcher.set_link_policy(config_.link);
+  if (behavior_ == nullptr) return;
+  // Both hooks query a pure function of (seed, device key, time) on a
+  // model shared across shards, so every width observes the same faults.
+  device::BehaviorModel* model = behavior_.get();
+  dispatcher.set_availability([model](DeviceId device, SimTime when) {
+    return model->Available(device.value(), when);
+  });
+  if (config_.behavior.link_base_failure > 0.0 ||
+      config_.behavior.link_diurnal_swing > 0.0) {
+    dispatcher.set_link_probability([model](DeviceId device, SimTime when) {
+      return model->LinkFailureProbability(device.value(), when);
+    });
+  }
+}
+
 bool FlEngine::ShouldStop() const {
   if (result_.rounds.size() >= config_.rounds) return true;
   if (config_.time_window > 0 && loop_.Now() >= config_.time_window) {
@@ -115,6 +142,8 @@ FlRunResult FlEngine::Run() {
       [this](const cloud::AggregationRecord& record, const ml::LrModel& model) {
         RecordRound(record, model);
       });
+  service_->set_on_round_aborted(
+      [this](SimTime when) { OnRoundAborted(when); });
   if (durable_ != nullptr && !resume_pending_) {
     // Fresh durable run: wipe any previous run's log/checkpoints, then
     // attach the journal so every Put/Delete from here on is logged.
@@ -168,6 +197,9 @@ FlRunResult FlEngine::Run() {
   if (has_restored_stats_) {
     result_.messages_dropped += restored_stats_.dropped;
   }
+  result_.rounds_degraded = service_->deadline_commits();
+  result_.rounds_extended = service_->round_extensions();
+  result_.rounds_aborted = service_->aborted_rounds();
   return result_;
 }
 
@@ -181,6 +213,10 @@ flow::DispatchStats FlEngine::dispatch_stats() const {
   merged.received += current.received;
   merged.sent += current.sent;
   merged.dropped += current.dropped;
+  merged.retries += current.retries;
+  merged.retry_successes += current.retry_successes;
+  merged.deadline_drops += current.deadline_drops;
+  merged.churn_losses += current.churn_losses;
   merged.batches_truncated += current.batches_truncated;
   merged.batches.insert(merged.batches.end(), current.batches.begin(),
                         current.batches.end());
@@ -203,6 +239,10 @@ flow::DispatchStats FlEngine::LocalDispatchStats() const {
     merged.received += stats.received;
     merged.sent += stats.sent;
     merged.dropped += stats.dropped;
+    merged.retries += stats.retries;
+    merged.retry_successes += stats.retry_successes;
+    merged.deadline_drops += stats.deadline_drops;
+    merged.churn_losses += stats.churn_losses;
     merged.batches_truncated += stats.batches_truncated;
     remaining += stats.batches.size();
   }
@@ -282,6 +322,9 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     (void)flow_.OnRoundStart(config_.task, round);
   }
 
+  // Open the round for the quorum/deadline policy (no-op when disabled).
+  service_->OnRoundOpened(t0);
+
   // Pick participants.
   std::vector<std::size_t> participants;
   const std::size_t n = dataset_.devices.size();
@@ -294,6 +337,22 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
     participants = round_rng.SampleWithoutReplacement(
         n, config_.participants_per_round);
     std::sort(participants.begin(), participants.end());
+  }
+
+  // Behavior gate: unavailable devices (churned out, diurnal trough, low
+  // battery, trace-offline) sit this round out. The selection above is
+  // unchanged, so enabling the model never re-rolls WHO would have been
+  // picked — it only subtracts the unavailable.
+  if (behavior_ != nullptr) {
+    std::size_t kept = 0;
+    for (const std::size_t index : participants) {
+      if (behavior_->Available(dataset_.devices[index].device.value(), t0)) {
+        participants[kept++] = index;
+      } else {
+        ++result_.skipped_unavailable;
+      }
+    }
+    participants.resize(kept);
   }
 
   // Train every participant from the current global model. Work is
@@ -464,6 +523,31 @@ void FlEngine::StartRoundFrom(std::size_t round, SimTime t0) {
   }
 }
 
+void FlEngine::OnRoundAborted(SimTime when) {
+  if (stall_event_ != 0) {
+    loop_.Cancel(stall_event_);
+    stall_event_ = 0;
+  }
+  // The abort analogue of the stall guard's empty-round close: the global
+  // model did not move, but the round still books an evaluation row so the
+  // accuracy curve shows the hole where the aborted round would have been.
+  RoundMetrics metrics;
+  metrics.round = result_.rounds.size() + 1;
+  metrics.time = when;
+  const auto eval_test = ml::Evaluate(
+      service_->global_model(),
+      std::span(dataset_.test_set.data(),
+                std::min(dataset_.test_set.size(), config_.eval_cap)));
+  metrics.test_accuracy = eval_test.accuracy;
+  metrics.test_logloss = eval_test.logloss;
+  result_.rounds.push_back(metrics);
+  last_recorded_round_ = rounds_started_;
+  if (metrics_ != nullptr) {
+    metrics_->RecordScalar("fl/round_aborted", when, 1.0);
+  }
+  StartRoundFrom(rounds_started_, std::max(loop_.Now(), when));
+}
+
 void FlEngine::RecordRound(const cloud::AggregationRecord& record,
                            const ml::LrModel& model) {
   if (stall_event_ != 0) {
@@ -486,6 +570,23 @@ void FlEngine::RecordRound(const cloud::AggregationRecord& record,
   metrics.train_logloss = train.logloss;
   result_.rounds.push_back(metrics);
   last_recorded_round_ = rounds_started_;
+  // Degradation accounting: a round that closed as a deadline commit (or
+  // after extensions) books a row per event, keyed to the round's time, so
+  // the metrics DB carries the same degradation curve the run result does.
+  if (metrics_ != nullptr) {
+    if (service_->deadline_commits() > booked_deadline_commits_) {
+      booked_deadline_commits_ = service_->deadline_commits();
+      metrics_->RecordScalar("fl/round_degraded", record.time,
+                             static_cast<double>(record.clients));
+    }
+    if (service_->round_extensions() > booked_round_extensions_) {
+      metrics_->RecordScalar(
+          "fl/round_extensions", record.time,
+          static_cast<double>(service_->round_extensions() -
+                              booked_round_extensions_));
+      booked_round_extensions_ = service_->round_extensions();
+    }
+  }
   PersistRoundBoundary(record);
 
   if (!ShouldStop()) {

@@ -26,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "data/example.h"
 #include "data/sharding.h"
+#include "device/behavior.h"
 #include "flow/device_flow.h"
 #include "flow/shard_merger.h"
 #include "ml/metrics.h"
@@ -51,6 +52,17 @@ struct FlRunResult {
   std::vector<RoundMetrics> rounds;
   std::size_t messages_emitted = 0;
   std::size_t messages_dropped = 0;
+  /// Fault-plane accounting (all zero when the behavior model and the
+  /// quorum/deadline policy are off, keeping the struct bit-identical to
+  /// pre-fault-plane runs). Selected participants skipped because the
+  /// behavior model reported them unavailable at round start:
+  std::size_t skipped_unavailable = 0;
+  /// Rounds committed at their deadline with only quorum-many updates
+  /// (deadline commits), deadline extensions granted, and rounds aborted
+  /// after exhausting extensions below quorum.
+  std::size_t rounds_degraded = 0;
+  std::size_t rounds_extended = 0;
+  std::size_t rounds_aborted = 0;
   /// Final global model (dimension = dataset hash_dim).
   std::uint32_t model_dim = 0;
   std::vector<float> final_weights;
@@ -126,6 +138,27 @@ struct FlExperimentConfig {
   SimDuration schedule_period = Seconds(60.0);
   /// Cloud rejects updates from earlier rounds (see AggregationConfig).
   bool reject_stale = false;
+  /// Device behavior model (spec: [behavior] section). Disabled by default
+  /// — every device is always available with a perfect link, reproducing
+  /// pre-fault-plane results exactly. When enabled, round-start participant
+  /// selection skips unavailable devices (counted in
+  /// FlRunResult::skipped_unavailable) and the dispatcher consults the
+  /// model for mid-flight churn (availability hook) and diurnal link
+  /// quality (link-probability hook). All queries are pure functions of
+  /// (behavior.seed, device key, time), so the fault pattern is
+  /// bit-identical at every shard width.
+  device::BehaviorConfig behavior;
+  /// Transient-link retry policy for every dispatcher (spec: [link]
+  /// section). Inactive by default; see flow::LinkPolicy.
+  flow::LinkPolicy link;
+  /// Graceful round degradation (spec: [execution] round_quorum /
+  /// round_deadline_s / round_extension_s / max_round_extensions). Engages
+  /// only when BOTH round_quorum > 0 and round_deadline > 0; the defaults
+  /// reproduce pre-policy behavior exactly. See cloud::AggregationConfig.
+  std::size_t round_quorum = 0;
+  SimDuration round_deadline = 0;
+  SimDuration round_extension = 0;
+  std::size_t max_round_extensions = 1;
   /// Message delay after round start for one device (traffic curve).
   /// Default: the device's stored response_delay_s.
   std::function<SimDuration(const data::DeviceData&, std::size_t round, Rng&)>
@@ -216,6 +249,12 @@ class FlEngine {
   /// Single-fleet flow service; holds no tasks when the run is sharded.
   const flow::DeviceFlow& device_flow() const { return flow_; }
   const cloud::BlobStore& storage() const { return storage_; }
+  /// Behavior model, or nullptr when config.behavior.enabled is false.
+  /// Mutable so callers can LoadTrace (Fig. 5 replay) before Run().
+  device::BehaviorModel* behavior_model() { return behavior_.get(); }
+  const device::BehaviorModel* behavior_model() const {
+    return behavior_.get();
+  }
 
   /// Resolved fleet width (config.shards clamped to the device count).
   std::size_t shards() const { return sharded() ? shards_.size() : 1; }
@@ -254,6 +293,13 @@ class FlEngine {
   void StartRoundFrom(std::size_t round, SimTime t0);
   void RecordRound(const cloud::AggregationRecord& record,
                    const ml::LrModel& model);
+  /// Quorum/deadline abort handler: records the degraded round (current
+  /// model, no aggregation) and advances to the next round — the abort
+  /// analogue of the stall guard's empty-round close.
+  void OnRoundAborted(SimTime when);
+  /// Binds the fault plane (link policy, availability and link-probability
+  /// hooks) onto one dispatcher; called for every dispatcher at setup.
+  void ConfigureLinkPlane(flow::Dispatcher& dispatcher);
   bool ShouldStop() const;
   /// Commits the pending blob-log records (one append + fsync) and, on the
   /// log+checkpoint plane, atomically publishes a checkpoint of the state
@@ -278,6 +324,10 @@ class FlEngine {
   cloud::BlobModelDecoder decoder_{storage_};
   flow::DeviceFlow flow_;
   std::unique_ptr<cloud::AggregationService> service_;
+  /// Behavior model (null when config_.behavior.enabled is false). Shared
+  /// by round-start participant filtering and every dispatcher's hooks;
+  /// safe because all queries are const + pure after setup.
+  std::unique_ptr<device::BehaviorModel> behavior_;
   /// Sharded topology (empty on the single-fleet path). merger_ is
   /// declared before shards_ so dispatchers — whose downstream_ points at
   /// the merger's channels — are destroyed before the channels they feed.
@@ -303,6 +353,10 @@ class FlEngine {
   std::vector<BlobId> round_blob_ids_;
   std::size_t rounds_started_ = 0;
   std::size_t last_recorded_round_ = 0;
+  /// High-water marks of the service's degradation counters already booked
+  /// into the metrics DB (RecordRound books deltas per closing round).
+  std::size_t booked_deadline_commits_ = 0;
+  std::size_t booked_round_extensions_ = 0;
   /// Training-set evaluation pool (capped union of device shards).
   std::vector<data::Example> train_eval_pool_;
   std::uint64_t next_message_id_ = 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "common/det_hash.h"
 #include "common/log.h"
 
 namespace simdc::flow {
@@ -47,14 +48,36 @@ Dispatcher::Dispatcher(sim::EventLoop& loop, TaskId task,
       downstream_(downstream),
       rng_(Rng(seed).Split(task.value())),
       drop_seed_(Rng(seed).Split(task.value()).Split("transmission-drop")()),
+      retry_seed_(Rng(seed).Split(task.value()).Split("link-retry")()),
       delivery_mode_(delivery_mode) {}
 
 Dispatcher::~Dispatcher() {
-  // Pending OnRoundEnd lambdas capture `this`; cancel them so removing a
-  // task mid-interval cannot leave dangling callbacks on the loop.
+  // Pending OnRoundEnd lambdas and retry attempts capture `this`; cancel
+  // them so removing a task mid-interval (or unregistering a churned
+  // device's fleet) cannot leave dangling callbacks on the loop.
   for (const sim::EventHandle handle : strategy_events_) {
     loop_.Cancel(handle);
   }
+  for (const sim::EventHandle handle : retry_events_) {
+    loop_.Cancel(handle);
+  }
+}
+
+std::size_t Dispatcher::pending_retries() const {
+  std::size_t pending = 0;
+  for (const sim::EventHandle handle : retry_events_) {
+    if (loop_.IsPending(handle)) ++pending;
+  }
+  return pending;
+}
+
+void Dispatcher::TrackRetryEvent(sim::EventHandle handle) {
+  // Same bounded-tracking discipline as TrackStrategyEvents: prune fired
+  // handles so the vector scales with in-flight retries, not history.
+  std::erase_if(retry_events_, [this](sim::EventHandle h) {
+    return !loop_.IsPending(h);
+  });
+  retry_events_.push_back(handle);
 }
 
 void Dispatcher::TrackStrategyEvents(std::vector<sim::EventHandle> handles) {
@@ -169,9 +192,125 @@ bool Dispatcher::TransmissionDrop(const Message& message,
   // One uniform in [0, 1) per message, hashed from (drop key, message id)
   // — two SplitMix64 rounds instead of a child-Rng construction, since
   // this sits on the per-message reference path.
-  const std::uint64_t mix =
-      SplitMix64(drop_seed_ ^ SplitMix64(message.id.value()));
-  return static_cast<double>(mix >> 11) * 0x1.0p-53 < failure_probability;
+  // (HashCombine is the historical two-round SplitMix64 mix, bit for bit.)
+  return HashUnit(HashCombine(drop_seed_, message.id.value())) <
+         failure_probability;
+}
+
+bool Dispatcher::LinkFaultsActive() const {
+  return link_.active() || availability_ != nullptr ||
+         link_probability_ != nullptr;
+}
+
+Dispatcher::AttemptOutcome Dispatcher::TryAttempt(const Message& message,
+                                                  SimTime when,
+                                                  std::size_t attempt) const {
+  // Churn first: an offline / churned-out device cannot attempt at all.
+  if (availability_ && !availability_(message.device, when)) {
+    return AttemptOutcome::kChurn;
+  }
+  const double p = link_probability_
+                       ? link_probability_(message.device, when)
+                       : link_.transient_failure_probability;
+  if (p <= 0.0) return AttemptOutcome::kDelivered;
+  // Keyed draw: even-numbered sub-keys are failure draws, odd ones jitter
+  // (RetryDelay), so the two never alias. Pure in (seed, id, attempt) —
+  // identical at every shard width and in both delivery modes.
+  const std::uint64_t draw =
+      DeterministicHash(retry_seed_, message.id.value(), attempt * 2);
+  return HashUnit(draw) < p ? AttemptOutcome::kTransient
+                            : AttemptOutcome::kDelivered;
+}
+
+SimDuration Dispatcher::RetryDelay(std::uint64_t message_id,
+                                   std::size_t attempt) const {
+  // Exponential backoff, capped, plus deterministic jitter in [0, base/4]
+  // so equal-time retry collisions across messages are measure-zero (the
+  // merged shard log and the unsharded log tie-break equal stamps
+  // differently; jitter keeps that divergence out of reach).
+  double base = ToSeconds(link_.backoff_initial);
+  for (std::size_t k = 1; k < attempt; ++k) {
+    base *= link_.backoff_multiplier;
+    if (Seconds(base) >= link_.backoff_max) break;
+  }
+  SimDuration backoff = std::min(link_.backoff_max, Seconds(base));
+  if (backoff < 1) backoff = 1;
+  const std::uint64_t jitter_draw =
+      DeterministicHash(retry_seed_, message_id, attempt * 2 + 1);
+  const SimDuration jitter = static_cast<SimDuration>(
+      jitter_draw % static_cast<std::uint64_t>(backoff / 4 + 1));
+  return backoff + jitter;
+}
+
+void Dispatcher::OnAttemptFailed(Message message, SimTime first_attempt,
+                                 std::size_t attempt, bool churn) {
+  const std::size_t next = attempt + 1;
+  const std::size_t max_attempts = std::max<std::size_t>(1, link_.max_attempts);
+  if (next >= max_attempts) {
+    // Attempts exhausted: the loss classification follows the LAST failure
+    // cause — an offline device is a churn loss, a flaky link plain loss.
+    ++stats_.dropped;
+    if (churn) ++stats_.churn_losses;
+    return;
+  }
+  const SimTime when = first_attempt + RetryDelay(message.id.value(), next);
+  if (link_.upload_deadline > 0 &&
+      when > first_attempt + link_.upload_deadline) {
+    // Deadline math uses first_attempt, itself a pure function of the
+    // message's arrival, so the verdict is width-invariant too.
+    ++stats_.dropped;
+    ++stats_.deadline_drops;
+    return;
+  }
+  ++stats_.retries;
+  // NOTE: `when` anchors on first_attempt plus the CUMULATIVE-free backoff
+  // of attempt `next` — retry k fires at first + delay(k), not at the
+  // previous failure time plus delay. Both are pure schedules; this one
+  // keeps every attempt time derivable from (arrival, id, k) alone.
+  TrackRetryEvent(loop_.ScheduleAt(
+      when, [this, message = std::move(message), first_attempt,
+             next]() mutable {
+        const SimTime now = loop_.Now();
+        switch (TryAttempt(message, now, next)) {
+          case AttemptOutcome::kDelivered:
+            DeliverRetried(std::move(message), now);
+            break;
+          case AttemptOutcome::kChurn:
+            OnAttemptFailed(std::move(message), first_attempt, next, true);
+            break;
+          case AttemptOutcome::kTransient:
+            OnAttemptFailed(std::move(message), first_attempt, next, false);
+            break;
+        }
+      }));
+}
+
+void Dispatcher::DeliverRetried(Message message, SimTime when) {
+  ++stats_.sent;
+  ++stats_.retry_successes;
+  // A retried delivery is its own single-message tick in the batch log —
+  // stamped at its (jittered, message-keyed) delivery time, so per-shard
+  // logs still interleave back into one canonical order.
+  if (stats_.batches.size() < batch_log_cap_) {
+    stats_.batches.emplace_back(when, 1);
+    stats_.batch_keys.push_back(message.id.value());
+  } else {
+    ++stats_.batches_truncated;
+  }
+  if (downstream_ == nullptr) return;
+  if (delivery_mode_ != DeliveryMode::kBatched) {
+    downstream_->Deliver(message, when);
+    return;
+  }
+  const SimTime arrival = when;
+  if (decoder_ != nullptr) {
+    const DecodedUpdate update = decoder_->Decode(std::move(message));
+    downstream_->DeliverDecodedBatch(std::span<const DecodedUpdate>(&update, 1),
+                                     std::span<const SimTime>(&arrival, 1));
+  } else {
+    downstream_->DeliverBatch(std::span<const Message>(&message, 1),
+                              std::span<const SimTime>(&arrival, 1));
+  }
 }
 
 void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
@@ -232,8 +371,9 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
   std::vector<SimTime> arrivals = tick_pool_->arrivals.Acquire();
   const bool batched =
       delivery_mode_ == DeliveryMode::kBatched && downstream_ != nullptr;
+  const bool link_active = LinkFaultsActive();
   next_send_time_ = std::max(next_send_time_, now);
-  if (batched && failure_probability <= 0.0) {
+  if (batched && failure_probability <= 0.0 && !link_active) {
     // No transmission-failure draws: the whole batch survives, so adopt it
     // wholesale instead of moving message-by-message (same zero RNG draws
     // and the same arrival arithmetic as the general loop below).
@@ -255,6 +395,19 @@ void Dispatcher::DispatchBatch(std::size_t count, double failure_probability,
       if (TransmissionDrop(message, failure_probability)) {
         ++stats_.dropped;
         continue;
+      }
+      // Transient-link fault plane: attempt 0 happens at the message's
+      // would-be arrival stamp. A failed first attempt neither counts as
+      // sent nor advances the rate limiter — the message leaves the tick
+      // and lives on its own retry schedule (or books its loss).
+      if (link_active) {
+        const AttemptOutcome outcome =
+            TryAttempt(message, next_send_time_, 0);
+        if (outcome != AttemptOutcome::kDelivered) {
+          OnAttemptFailed(std::move(message), next_send_time_, 0,
+                          outcome == AttemptOutcome::kChurn);
+          continue;
+        }
       }
       const SimTime arrival = next_send_time_;
       next_send_time_ += per_message;

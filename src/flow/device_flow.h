@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -79,11 +80,60 @@ enum class DeliveryMode { kBatched, kPerMessage };
 /// Default bound on DispatchStats::batches entries (see batch_log_cap).
 inline constexpr std::size_t kDefaultBatchLogCap = 1u << 20;
 
+/// Transient-link fault policy for a dispatcher: flaky radios that fail an
+/// upload attempt without killing the message (distinct from the
+/// strategy's failure_probability, which models permanent loss). Failed
+/// attempts retry with exponential backoff plus deterministic jitter; both
+/// the per-attempt failure draw and the jitter are keyed on
+/// (seed, task, message id, attempt) — pure functions like
+/// Dispatcher::TransmissionDrop — so the whole retry schedule of a message
+/// is partition- and shard-width-invariant. Retries bypass the
+/// dispatcher's capacity rate limiter: they model the device's own radio
+/// coming back, not the serialized sender, which is what keeps the
+/// schedule a function of the message alone.
+struct LinkPolicy {
+  /// Probability one upload attempt fails transiently (a per-message
+  /// availability/link-quality hook on the dispatcher overrides this with
+  /// a time-varying value).
+  double transient_failure_probability = 0.0;
+  /// Total attempts per message, first try included (1 = never retry; a
+  /// message whose last attempt fails is dropped).
+  std::size_t max_attempts = 1;
+  /// Backoff before retry k (1-based): min(backoff_max,
+  /// backoff_initial * backoff_multiplier^(k-1)) plus a deterministic
+  /// jitter in [0, base/4].
+  SimDuration backoff_initial = Seconds(1.0);
+  double backoff_multiplier = 2.0;
+  SimDuration backoff_max = Seconds(60.0);
+  /// Hard per-message upload deadline measured from the message's first
+  /// attempt: a retry that would land past it is not scheduled and the
+  /// message books a deadline drop. 0 = no deadline.
+  SimDuration upload_deadline = 0;
+
+  /// Whether this policy can change any message's fate on its own.
+  bool active() const {
+    return transient_failure_probability > 0.0 || upload_deadline > 0;
+  }
+};
+
 /// Per-task dispatch accounting (drives Fig. 10 and Table II).
+/// The loss taxonomy: every lost message counts in `dropped` (so
+/// emitted == received-by-cloud + dropped always balances); deadline_drops
+/// and churn_losses additionally classify losses the fault plane caused.
 struct DispatchStats {
   std::size_t received = 0;
   std::size_t sent = 0;
   std::size_t dropped = 0;
+  /// Retry attempts scheduled after a transiently-failed upload attempt.
+  std::size_t retries = 0;
+  /// Messages delivered on an attempt after the first.
+  std::size_t retry_successes = 0;
+  /// Messages dropped because the next retry would exceed the
+  /// LinkPolicy::upload_deadline (also counted in `dropped`).
+  std::size_t deadline_drops = 0;
+  /// Messages dropped because the device was unavailable (churned out /
+  /// offline) at their final attempt (also counted in `dropped`).
+  std::size_t churn_losses = 0;
   /// (dispatch time, messages dispatched) per executed batch/slot. Growth
   /// is bounded by the dispatcher's batch_log_cap; ticks beyond the cap
   /// are counted in batches_truncated instead of stored, so week-long
@@ -160,6 +210,34 @@ class Dispatcher {
   /// Bounds DispatchStats::batches (default kDefaultBatchLogCap).
   void set_batch_log_cap(std::size_t cap) { batch_log_cap_ = cap; }
 
+  /// Arms the transient-link fault plane (see LinkPolicy). Inactive by
+  /// default — with the default policy and no hooks, dispatch behavior is
+  /// bit-identical to a dispatcher without the fault plane.
+  void set_link_policy(LinkPolicy policy) { link_ = policy; }
+  const LinkPolicy& link_policy() const { return link_; }
+
+  /// Device availability at a given instant (device::BehaviorModel binds
+  /// here). When set, every upload attempt first checks the sender's
+  /// availability; an unavailable device fails the attempt (retried under
+  /// the link policy; the final such failure books a churn loss). MUST be
+  /// a pure function of (device, time) and thread-safe: sharded fleets
+  /// evaluate it from shard loops advancing in parallel, and purity is
+  /// what keeps outcomes width-invariant.
+  using AvailabilityFn = std::function<bool(DeviceId, SimTime)>;
+  void set_availability(AvailabilityFn fn) { availability_ = std::move(fn); }
+
+  /// Per-(device, time) transient failure probability, overriding
+  /// LinkPolicy::transient_failure_probability (diurnal link quality).
+  /// Same purity/thread-safety contract as the availability hook.
+  using LinkProbabilityFn = std::function<double(DeviceId, SimTime)>;
+  void set_link_probability(LinkProbabilityFn fn) {
+    link_probability_ = std::move(fn);
+  }
+
+  /// Still-pending retry attempts (scheduled, not yet fired); their
+  /// closures capture `this` and are cancelled on destruction.
+  std::size_t pending_retries() const;
+
   /// Tick-buffer recycling telemetry: how many buffer acquisitions across
   /// all kinds were served from the pool instead of the heap.
   std::size_t tick_buffer_reuses() const {
@@ -178,6 +256,27 @@ class Dispatcher {
   /// partitioned across dispatchers or grouped into ticks — the property
   /// that keeps sharded fleets bit-identical at every width.
   bool TransmissionDrop(const Message& message, double failure_probability);
+  /// Whether any link-fault mechanism (policy, availability hook, link
+  /// probability hook) can alter a message's fate; false keeps DispatchBatch
+  /// on the exact pre-fault-plane path.
+  bool LinkFaultsActive() const;
+  /// One upload attempt's verdict at `when` (attempt 0 = the dispatch
+  /// tick itself). Draws are keyed on (retry seed, message id, attempt) —
+  /// pure functions, no sequential RNG state.
+  enum class AttemptOutcome { kDelivered, kChurn, kTransient };
+  AttemptOutcome TryAttempt(const Message& message, SimTime when,
+                            std::size_t attempt) const;
+  /// Books a failed attempt: schedules the next retry under the backoff /
+  /// deadline policy, or commits the loss (dropped + churn/deadline
+  /// classification). `first_attempt` anchors the upload deadline.
+  void OnAttemptFailed(Message message, SimTime first_attempt,
+                       std::size_t attempt, bool churn);
+  /// Delivers a message that succeeded on a retry attempt, logging it as
+  /// its own single-message tick at `when`.
+  void DeliverRetried(Message message, SimTime when);
+  /// Backoff + deterministic jitter before retry `attempt` (1-based).
+  SimDuration RetryDelay(std::uint64_t message_id, std::size_t attempt) const;
+  void TrackRetryEvent(sim::EventHandle handle);
   void PumpRealtime();
   /// Records handles of scheduled strategy events (for ~Dispatcher),
   /// pruning ones that already fired so tracking stays bounded.
@@ -194,6 +293,16 @@ class Dispatcher {
   /// TransmissionDrop); shared-seed dispatchers derive the same key, so
   /// shard slices agree on every message's fate.
   std::uint64_t drop_seed_;
+  /// Key for per-(message, attempt) transient-failure and jitter draws;
+  /// derived like drop_seed_ so shard slices agree on retry schedules.
+  std::uint64_t retry_seed_;
+  /// Transient-link fault plane (inactive by default).
+  LinkPolicy link_;
+  AvailabilityFn availability_;
+  LinkProbabilityFn link_probability_;
+  /// Pending retry events (closures capture `this`); cancelled on
+  /// destruction, pruned as they fire so tracking stays bounded.
+  std::vector<sim::EventHandle> retry_events_;
   Shelf shelf_;
   DispatchStats stats_;
   /// Recycled tick buffers (see flow/tick_pool.h). shared_ptr: in-flight

@@ -9,7 +9,11 @@ namespace simdc::persist {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50434453u;  // "SDCP" little-endian
-constexpr std::uint32_t kVersion = 1;
+// v2: fault-plane counters (dispatch retries/retry_successes/
+// deadline_drops/churn_losses, aggregation deadline_commits/
+// round_extensions/aborted_rounds). Pre-v2 images are rejected — a crashed
+// old-format run recovers with its old binary, not this one.
+constexpr std::uint32_t kVersion = 2;
 
 void PutAggregation(ByteWriter& w, const cloud::AggregationSnapshot& a) {
   w.Put<std::uint64_t>(a.history.size());
@@ -24,6 +28,9 @@ void PutAggregation(ByteWriter& w, const cloud::AggregationSnapshot& a) {
   w.Put<std::uint64_t>(a.decode_failures);
   w.Put<std::uint64_t>(a.stale_rejections);
   w.Put<std::uint64_t>(a.store_errors);
+  w.Put<std::uint64_t>(a.deadline_commits);
+  w.Put<std::uint64_t>(a.round_extensions);
+  w.Put<std::uint64_t>(a.aborted_rounds);
   w.Put<std::uint32_t>(a.model_dim);
   w.Put<std::uint64_t>(a.global_weights.size());
   for (const float v : a.global_weights) w.Put<float>(v);
@@ -51,6 +58,9 @@ cloud::AggregationSnapshot GetAggregation(ByteReader& r) {
   a.decode_failures = r.Get<std::uint64_t>();
   a.stale_rejections = r.Get<std::uint64_t>();
   a.store_errors = r.Get<std::uint64_t>();
+  a.deadline_commits = r.Get<std::uint64_t>();
+  a.round_extensions = r.Get<std::uint64_t>();
+  a.aborted_rounds = r.Get<std::uint64_t>();
   a.model_dim = r.Get<std::uint32_t>();
   const auto weights = r.Get<std::uint64_t>();
   for (std::uint64_t i = 0; r.ok() && i < weights; ++i) {
@@ -71,6 +81,10 @@ void PutDispatch(ByteWriter& w, const flow::DispatchStats& d) {
   w.Put<std::uint64_t>(d.received);
   w.Put<std::uint64_t>(d.sent);
   w.Put<std::uint64_t>(d.dropped);
+  w.Put<std::uint64_t>(d.retries);
+  w.Put<std::uint64_t>(d.retry_successes);
+  w.Put<std::uint64_t>(d.deadline_drops);
+  w.Put<std::uint64_t>(d.churn_losses);
   w.Put<std::uint64_t>(d.batches_truncated);
   w.Put<std::uint64_t>(d.batches.size());
   for (const auto& [time, count] : d.batches) {
@@ -86,6 +100,10 @@ flow::DispatchStats GetDispatch(ByteReader& r) {
   d.received = static_cast<std::size_t>(r.Get<std::uint64_t>());
   d.sent = static_cast<std::size_t>(r.Get<std::uint64_t>());
   d.dropped = static_cast<std::size_t>(r.Get<std::uint64_t>());
+  d.retries = static_cast<std::size_t>(r.Get<std::uint64_t>());
+  d.retry_successes = static_cast<std::size_t>(r.Get<std::uint64_t>());
+  d.deadline_drops = static_cast<std::size_t>(r.Get<std::uint64_t>());
+  d.churn_losses = static_cast<std::size_t>(r.Get<std::uint64_t>());
   d.batches_truncated = static_cast<std::size_t>(r.Get<std::uint64_t>());
   const auto batches = r.Get<std::uint64_t>();
   for (std::uint64_t i = 0; r.ok() && i < batches; ++i) {

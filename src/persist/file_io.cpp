@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/det_hash.h"
 #include "common/rng.h"
 
 namespace simdc::persist {
@@ -141,7 +142,10 @@ std::uint64_t FaultInjector::TornLength(std::uint64_t configured,
   if (configured != FaultPlan::kSeedDerived) {
     return configured < size ? configured : size;
   }
-  return SplitMix64(plan_.seed ^ (index * 0x9E3779B97F4A7C15ULL)) % (size + 1);
+  // Seed-derived lengths share the common::DeterministicHash combine shape
+  // used by the flow plane's message-keyed draws — one formula for every
+  // seed-deterministic fault schedule in the tree.
+  return DeterministicHash(plan_.seed, index) % (size + 1);
 }
 
 Status FaultInjector::Append(const std::string& path,

@@ -8,6 +8,7 @@
 #include <limits>
 #include <set>
 
+#include "common/det_hash.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/rng.h"
@@ -212,6 +213,54 @@ TEST(RngTest, SampleWithoutReplacementIsUniform) {
 TEST(HashStringTest, StableAndDistinct) {
   EXPECT_EQ(HashString("abc"), HashString("abc"));
   EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+// ---------- Deterministic hashing ----------
+
+TEST(DeterministicHashTest, MatchesHistoricalDropFormula) {
+  // HashCombine must reproduce the transmission-drop draw bit-for-bit:
+  // SplitMix64(seed ^ SplitMix64(value)). Seeded fault patterns from runs
+  // before the helper existed depend on it.
+  const std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    EXPECT_EQ(HashCombine(seed, id), SplitMix64(seed ^ SplitMix64(id)));
+  }
+}
+
+TEST(DeterministicHashTest, VariadicChainsPairwise) {
+  // DeterministicHash(k, a, b) folds left: each extra field re-keys the
+  // chain, so it must equal HashCombine applied pairwise.
+  const std::uint64_t k = 7, a = 11, b = 13, c = 17;
+  EXPECT_EQ(DeterministicHash(k, a), HashCombine(k, a));
+  EXPECT_EQ(DeterministicHash(k, a, b), HashCombine(HashCombine(k, a), b));
+  EXPECT_EQ(DeterministicHash(k, a, b, c),
+            HashCombine(HashCombine(HashCombine(k, a), b), c));
+}
+
+TEST(DeterministicHashTest, ArgumentOrderMatters) {
+  EXPECT_NE(DeterministicHash(1, 2, 3), DeterministicHash(1, 3, 2));
+  EXPECT_NE(DeterministicHash(2, 1, 3), DeterministicHash(1, 2, 3));
+}
+
+TEST(DeterministicHashTest, HashUnitInHalfOpenUnitInterval) {
+  // Same 53-bit mapping Rng::Uniform uses; the all-ones hash must stay
+  // strictly below 1.
+  EXPECT_EQ(HashUnit(0), 0.0);
+  EXPECT_LT(HashUnit(~0ULL), 1.0);
+  std::uint64_t h = 42;
+  for (int i = 0; i < 1000; ++i) {
+    h = SplitMix64(h);
+    const double u = HashUnit(h);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(DeterministicHashTest, IsConstexpr) {
+  // Usable for compile-time salts (behavior-model streams rely on it).
+  static_assert(DeterministicHash(1, 2, 3) == DeterministicHash(1, 2, 3));
+  static_assert(HashUnit(DeterministicHash(5, 6)) >= 0.0);
+  SUCCEED();
 }
 
 // ---------- Statistics ----------

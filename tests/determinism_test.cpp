@@ -171,6 +171,10 @@ void ExpectStatsIdentical(const flow::DispatchStats& a,
   EXPECT_EQ(a.received, b.received) << "shards=" << shards;
   EXPECT_EQ(a.sent, b.sent) << "shards=" << shards;
   EXPECT_EQ(a.dropped, b.dropped) << "shards=" << shards;
+  EXPECT_EQ(a.retries, b.retries) << "shards=" << shards;
+  EXPECT_EQ(a.retry_successes, b.retry_successes) << "shards=" << shards;
+  EXPECT_EQ(a.deadline_drops, b.deadline_drops) << "shards=" << shards;
+  EXPECT_EQ(a.churn_losses, b.churn_losses) << "shards=" << shards;
   EXPECT_EQ(a.batches, b.batches) << "shards=" << shards;
   EXPECT_EQ(a.batch_keys, b.batch_keys) << "shards=" << shards;
   EXPECT_EQ(a.batches_truncated, b.batches_truncated) << "shards=" << shards;
