@@ -1,0 +1,262 @@
+// Multi-tenant scheduling ladder (the concurrency companion to Fig. 7).
+//
+// Runs 1 -> 10 -> 100 concurrent FL tasks on one shared fleet through
+// MultiTenantEngine with MIXED per-task policies — dropout probability,
+// link retry/backoff and quorum/deadline knobs all vary tenant by tenant —
+// and hard-gates, at every rung:
+//   · per-task FlRunResult bit-identity across shard widths 1/2/4/8
+//     (admission timeline included: width must not move a single admit);
+//   · per-task bit-identity against the same task run SOLO in sequence,
+//     valid because every rung is provisioned contention-free.
+// A single diverging bit fails the bench. On top of the gates it prints the
+// per-task SLA rows the scheduling plane exists to produce: queue wait,
+// makespan, round-latency percentiles and fault-plane counters.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/fl_engine.h"
+#include "core/multi_tenant.h"
+#include "data/synth_avazu.h"
+
+namespace {
+
+using namespace simdc;
+
+/// Mixed per-tenant policy: dropout varies with id % 3, every even id runs
+/// a lossy retrying link, every third id a quorum/deadline round policy.
+/// All of it stays in the width-invariant flow regime (pass-through ticks,
+/// disengaged limiter) so the shard-width gate is meaningful.
+core::FlExperimentConfig TenantFl(std::uint64_t id, std::size_t rounds) {
+  core::FlExperimentConfig config;
+  config.task = TaskId(id);
+  config.rounds = rounds;
+  config.train.learning_rate = 0.05;
+  config.train.epochs = 1;
+  config.trigger = cloud::AggregationTrigger::kScheduled;
+  config.schedule_period = Seconds(30.0);
+  config.strategy = flow::RealtimeAccumulated{
+      {1}, static_cast<double>(id % 3) * 0.1,
+      flow::kShardWidthInvariantCapacity};
+  config.seed = 1000 + id;
+  if (id % 2 == 0) {
+    config.link.transient_failure_probability = 0.3;
+    config.link.max_attempts = 3;
+    config.link.backoff_initial = Seconds(2.0);
+    config.link.backoff_multiplier = 2.0;
+    config.link.backoff_max = Seconds(20.0);
+    config.link.upload_deadline = Seconds(25.0);
+  }
+  if (id % 3 == 0) {
+    config.round_quorum = 5;
+    config.round_deadline = Seconds(60.0);
+    config.round_extension = Seconds(20.0);
+    config.max_round_extensions = 1;
+  }
+  return config;
+}
+
+core::TenantTask MakeTenant(std::uint64_t id, std::size_t rounds,
+                            const data::FederatedDataset& dataset) {
+  core::TenantTask task;
+  task.spec.id = TaskId(id);
+  task.spec.name = "tenant-" + std::to_string(id);
+  task.spec.priority = static_cast<int>(id % 7);
+  task.spec.rounds = rounds;
+  sched::DeviceRequirement requirement;
+  requirement.grade = device::DeviceGrade::kHigh;
+  requirement.num_devices = 40;
+  requirement.phones = 2;
+  requirement.logical_bundles = 10;
+  task.spec.requirements.push_back(requirement);
+  task.fl = TenantFl(id, rounds);
+  task.dataset = &dataset;
+  return task;
+}
+
+struct RungRun {
+  std::vector<core::TenantResult> results;
+  std::size_t peak_active = 0;
+  std::size_t admission_passes = 0;
+};
+
+RungRun RunMulti(std::size_t tasks, std::size_t rounds, std::size_t width,
+                 const data::FederatedDataset& dataset) {
+  sim::EventLoop loop;
+  // 1000 phones per grade and 10k bundles: contention-free at every rung
+  // (100 tenants demand 200 phones / 1000 bundles), so the solo gate holds.
+  sched::ResourceManager resources(10000, {1000, 1000});
+  core::MultiTenantEngine engine(loop, resources);
+  for (std::uint64_t id = 1; id <= tasks; ++id) {
+    core::TenantTask task = MakeTenant(id, rounds, dataset);
+    task.fl.shards = width;
+    if (!engine.Submit(std::move(task)).ok()) std::abort();
+  }
+  RungRun run;
+  run.results = engine.Run();
+  run.peak_active = engine.peak_active_tenants();
+  run.admission_passes = engine.admission_passes();
+  return run;
+}
+
+bool Identical(const core::TenantResult& a, const core::TenantResult& b) {
+  const core::FlRunResult& ra = a.result;
+  const core::FlRunResult& rb = b.result;
+  if (ra.rounds.size() != rb.rounds.size()) return false;
+  for (std::size_t i = 0; i < ra.rounds.size(); ++i) {
+    if (ra.rounds[i].time != rb.rounds[i].time ||
+        ra.rounds[i].clients != rb.rounds[i].clients ||
+        ra.rounds[i].samples != rb.rounds[i].samples ||
+        ra.rounds[i].test_accuracy != rb.rounds[i].test_accuracy ||
+        ra.rounds[i].test_logloss != rb.rounds[i].test_logloss ||
+        ra.rounds[i].train_accuracy != rb.rounds[i].train_accuracy ||
+        ra.rounds[i].train_logloss != rb.rounds[i].train_logloss) {
+      return false;
+    }
+  }
+  if (ra.messages_emitted != rb.messages_emitted ||
+      ra.messages_dropped != rb.messages_dropped ||
+      ra.skipped_unavailable != rb.skipped_unavailable ||
+      ra.rounds_degraded != rb.rounds_degraded ||
+      ra.rounds_aborted != rb.rounds_aborted ||
+      ra.final_bias != rb.final_bias ||
+      ra.final_weights.size() != rb.final_weights.size() ||
+      std::memcmp(ra.final_weights.data(), rb.final_weights.data(),
+                  ra.final_weights.size() * sizeof(float)) != 0) {
+    return false;
+  }
+  // SLA row, admission timeline included: a different shard width must not
+  // move a single admit/complete tick or fault-plane counter.
+  const core::TaskSlaReport& sa = a.sla;
+  const core::TaskSlaReport& sb = b.sla;
+  return sa.rounds == sb.rounds && sa.retries == sb.retries &&
+         sa.deadline_drops == sb.deadline_drops &&
+         sa.churn_losses == sb.churn_losses &&
+         sa.rounds_degraded == sb.rounds_degraded &&
+         sa.rounds_extended == sb.rounds_extended &&
+         sa.submitted == sb.submitted && sa.admitted == sb.admitted &&
+         sa.completed == sb.completed;
+}
+
+core::TenantResult SoloResult(std::uint64_t id, std::size_t rounds,
+                              const data::FederatedDataset& dataset) {
+  sim::EventLoop loop;
+  core::FlExperimentConfig config = TenantFl(id, rounds);
+  config.shards = 1;
+  core::FlEngine engine(loop, dataset, std::move(config));
+  core::TenantResult solo;
+  solo.result = engine.Run();
+  return solo;
+}
+
+/// Solo equality ignores the admission timeline (a solo run has none).
+bool MatchesSolo(const core::TenantResult& tenant,
+                 const core::TenantResult& solo) {
+  core::TenantResult masked = tenant;
+  masked.sla = core::TaskSlaReport{};
+  return Identical(masked, solo);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Multi-tenant scheduling ladder — 1/10/100 concurrent tasks, mixed\n"
+      "per-task policies (dropout x link retries x quorum), every rung\n"
+      "gated bit-identical at shard widths 1/2/4/8 and vs solo-in-sequence");
+
+  data::SynthConfig data_config;
+  data_config.num_devices = 40;
+  data_config.records_per_device_mean = 10;
+  data_config.num_test_devices = 8;
+  data_config.hash_dim = 1u << 10;
+  data_config.seed = 33;
+  const auto dataset = data::GenerateSyntheticAvazu(data_config);
+
+  const std::size_t rungs[] = {1, 10, 100};
+  const std::size_t widths[] = {2, 4, 8};
+
+  std::printf("\n%6s %5s %6s | %8s %8s %8s %8s | %9s %6s %5s\n", "tasks",
+              "peak", "passes", "retries", "deadl", "degr", "p95max",
+              "makespan", "widths", "solo");
+  bench::PrintRule();
+
+  bool widths_identical = true;
+  bool solo_identical = true;
+  for (const std::size_t tasks : rungs) {
+    const std::size_t rounds = tasks >= 100 ? 1 : 2;
+    RungRun reference;
+    {
+      bench::ScopedOpTimer timer("fig7_multitenant_" + std::to_string(tasks));
+      reference = RunMulti(tasks, rounds, 1, dataset);
+    }
+    bool rung_widths = reference.results.size() == tasks;
+    for (const std::size_t width : widths) {
+      const RungRun sharded = RunMulti(tasks, rounds, width, dataset);
+      if (sharded.results.size() != reference.results.size()) {
+        rung_widths = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < reference.results.size(); ++i) {
+        if (!Identical(reference.results[i], sharded.results[i])) {
+          rung_widths = false;
+        }
+      }
+    }
+    bool rung_solo = true;
+    std::uint64_t retries = 0, deadline_drops = 0;
+    std::size_t degraded = 0;
+    double p95_max = 0.0, makespan = 0.0;
+    for (const core::TenantResult& tenant : reference.results) {
+      if (!tenant.completed) rung_solo = false;
+      const auto solo =
+          SoloResult(tenant.id.value(), rounds, dataset);
+      if (!MatchesSolo(tenant, solo)) rung_solo = false;
+      retries += tenant.sla.retries;
+      deadline_drops += tenant.sla.deadline_drops;
+      degraded += tenant.sla.rounds_degraded;
+      p95_max = std::max(p95_max, tenant.sla.round_latency_p95_s);
+      makespan = std::max(makespan, tenant.sla.makespan_s);
+    }
+    widths_identical = widths_identical && rung_widths;
+    solo_identical = solo_identical && rung_solo;
+    std::printf("%6zu %5zu %6zu | %8llu %8llu %8zu %8.1f | %8.1fs %6s %5s\n",
+                tasks, reference.peak_active, reference.admission_passes,
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(deadline_drops), degraded,
+                p95_max, makespan, rung_widths ? "yes" : "NO",
+                rung_solo ? "yes" : "NO");
+
+    if (tasks == 10) {
+      std::printf("\n  per-task SLA rows (10-task rung):\n");
+      std::printf("  %6s %5s | %8s %8s %8s | %8s %8s %6s\n", "task", "prio",
+                  "p50", "p95", "p99", "wait", "mkspan", "retry");
+      for (const core::TenantResult& tenant : reference.results) {
+        std::printf("  %6llu %5llu | %7.1fs %7.1fs %7.1fs | %7.1fs %7.1fs "
+                    "%6llu\n",
+                    static_cast<unsigned long long>(tenant.id.value()),
+                    static_cast<unsigned long long>(tenant.id.value() % 7),
+                    tenant.sla.round_latency_p50_s,
+                    tenant.sla.round_latency_p95_s,
+                    tenant.sla.round_latency_p99_s, tenant.sla.queue_wait_s,
+                    tenant.sla.makespan_s,
+                    static_cast<unsigned long long>(tenant.sla.retries));
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::PrintRule();
+  std::printf("Shard-width bit-identity (1/2/4/8) at every rung: %s\n",
+              widths_identical ? "yes" : "NO");
+  std::printf("Contention-free rungs match solo-in-sequence:     %s\n",
+              solo_identical ? "yes" : "NO");
+  bench::EmitOpTimings();
+  const bool reproduced = widths_identical && solo_identical;
+  std::printf("Multi-tenant ladder: %s\n",
+              reproduced ? "REPRODUCED" : "NOT reproduced");
+  return reproduced ? 0 : 1;
+}

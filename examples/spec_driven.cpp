@@ -1,9 +1,17 @@
 // Spec-driven submission: run SimDC tasks from textual task specs — the
 // headless equivalent of the paper's GUI workflow (§III-C).
 //
+// Each spec is one TENANT. Its [traffic], [link], [behavior],
+// [aggregation] and [execution] sections configure THAT task alone —
+// two specs with different [link] retry policies or round_quorum knobs
+// genuinely run two different policies side by side on the shared fleet
+// (historically the first spec's [execution] block was applied
+// globally). Admission, fair allocation and per-task SLA rows come from
+// the multi-tenant plane (core::MultiTenantEngine).
+//
 // Usage:
-//   ./build/examples/spec_driven              # runs two built-in specs
-//   ./build/examples/spec_driven my_task.ini  # runs a spec from disk
+//   ./build/examples/spec_driven                # runs two built-in specs
+//   ./build/examples/spec_driven a.ini b.ini    # runs specs from disk
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -16,7 +24,8 @@
 namespace {
 
 constexpr const char* kNightlySpec = R"(
-# High-priority nightly training job across both grades.
+# High-priority nightly training job across both grades: lossy links with
+# retries, and a round quorum so stragglers cannot stall the round.
 [task]
 name = nightly-ctr
 priority = 9
@@ -34,14 +43,25 @@ benchmarking = 2
 logical_bundles = 64
 phones = 4
 
+[link]
+transient_failure_probability = 0.1
+max_attempts = 3
+backoff_initial_s = 2
+backoff_multiplier = 2.0
+backoff_max_s = 30
+
 [execution]
 parallelism = 2
 shards = 2
 decode_plane = decoded
+round_quorum = 20
+round_deadline_s = 90
+round_extension_s = 30
 )";
 
 constexpr const char* kSmokeSpec = R"(
-# Low-priority functional smoke test; queued behind the nightly job.
+# Low-priority functional smoke test; clean links, no quorum — queued
+# until the nightly job frees enough logical bundles.
 [task]
 name = smoke-test
 priority = 1
@@ -60,21 +80,23 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> spec_texts;
   if (argc > 1) {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream file(argv[i]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      spec_texts.push_back(buffer.str());
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    spec_texts.push_back(buffer.str());
   } else {
     spec_texts = {kNightlySpec, kSmokeSpec};
   }
 
-  // Parse each spec once; the [execution] scan below and the task
-  // submission loop share the parsed documents.
-  std::vector<config::IniDocument> docs;
+  // Load each spec into its own complete per-task configuration: the
+  // sched-plane TaskSpec plus every policy section the tenant pins.
+  std::vector<config::TenantSpecConfig> specs;
   for (const auto& text : spec_texts) {
     auto doc = config::ParseIni(text);
     if (!doc.ok()) {
@@ -82,99 +104,70 @@ int main(int argc, char** argv) {
                    doc.error().ToString().c_str());
       return 1;
     }
-    docs.push_back(std::move(*doc));
-  }
-
-  // Size the platform's training pool from the first spec that pins a
-  // [execution] parallelism (0 keeps the hardware-concurrency default).
-  core::PlatformConfig platform_config;
-  config::ExecutionConfig execution_knobs;
-  for (const auto& doc : docs) {
-    auto execution = config::LoadExecution(doc);
-    if (!execution.ok()) continue;
-    // Knobs are independent: the first spec pinning each one wins, so a
-    // shards-only spec cannot shadow a later spec's parallelism.
-    if (execution->parallelism > 0 && execution_knobs.parallelism == 0) {
-      execution_knobs.parallelism = execution->parallelism;
-      platform_config.worker_threads = execution->parallelism;
-    }
-    if (execution->shards > 0 && execution_knobs.shards == 0) {
-      execution_knobs.shards = execution->shards;
-    }
-    // decode_plane defaults to decoded; the first spec asking for the
-    // legacy (serial-decode) plane pins it for the run.
-    if (execution->decode_plane == flow::DecodePlane::kLegacy) {
-      execution_knobs.decode_plane = flow::DecodePlane::kLegacy;
-    }
-  }
-  const bool have_knobs =
-      execution_knobs.parallelism > 0 || execution_knobs.shards > 0;
-  if (have_knobs) {
-    std::printf("using parallelism = %zu, shards = %zu, decode_plane = %s "
-                "from spec [execution]\n",
-                execution_knobs.parallelism, execution_knobs.shards,
-                execution_knobs.decode_plane == flow::DecodePlane::kDecoded
-                    ? "decoded"
-                    : "legacy");
-  }
-  core::Platform platform(platform_config);
-  for (const auto& doc : docs) {
-    auto task = config::LoadTaskSpec(doc);
-    if (!task.ok()) {
+    auto spec = config::LoadTenantSpec(*doc);
+    if (!spec.ok()) {
       std::fprintf(stderr, "spec rejected: %s\n",
-                   task.error().ToString().c_str());
+                   spec.error().ToString().c_str());
       return 1;
     }
-    task->id = platform.NextTaskId();
-    std::printf("submitting '%s' as %s (priority %d, %zu devices)\n",
-                task->name.c_str(), task->id.ToString().c_str(),
-                task->priority, task->TotalDevices());
-    if (auto submitted = platform.SubmitTask(std::move(*task));
-        !submitted.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n",
-                   submitted.ToString().c_str());
-      return 1;
-    }
+    specs.push_back(std::move(*spec));
+  }
+
+  core::Platform platform;
+
+  // One shared dataset; every tenant trains its own model over it with
+  // its own RNG streams, so tenants stay bit-independent.
+  data::SynthConfig data_config;
+  data_config.num_devices = 60;
+  data_config.hash_dim = 1u << 12;
+  const auto dataset = data::GenerateSyntheticAvazu(data_config);
+
+  std::vector<core::TenantTask> tenants;
+  for (auto& spec : specs) {
+    spec.spec.id = platform.NextTaskId();
+    core::TenantTask tenant;
+    tenant.fl = core::ExperimentFromTenantSpec(
+        spec, /*seed=*/1000 + spec.spec.id.value());
+    tenant.spec = spec.spec;
+    tenant.dataset = &dataset;
+    std::printf(
+        "submitting '%s' as %s (priority %d, %zu devices) — link retries "
+        "x%zu @ p=%.2f, round_quorum %zu, shards %zu\n",
+        spec.spec.name.c_str(), spec.spec.id.ToString().c_str(),
+        spec.spec.priority, spec.spec.TotalDevices(),
+        spec.link.max_attempts, spec.link.transient_failure_probability,
+        spec.execution.round_quorum,
+        std::max<std::size_t>(1, spec.execution.shards));
+    tenants.push_back(std::move(tenant));
   }
 
   std::printf("\n%s\n", core::RenderStatus(platform).c_str());
-  const auto reports = platform.RunQueuedTasks();
-  for (const auto& report : reports) {
-    std::printf("%s: %s — %.1f virtual seconds (logical %.1fs / device "
-                "%.1fs)\n",
-                report.id.ToString().c_str(),
-                report.ok ? "completed" : "FAILED",
-                report.elapsed_seconds(), report.allocation.logical_seconds,
-                report.allocation.device_seconds);
-  }
-  std::printf("\n%s\n", core::RenderStatus(platform).c_str());
 
-  // The [execution] knobs map straight onto the FL engine: parallelism
-  // sizes the training pool, shards the fleet topology. Both leave every
-  // bit of the result unchanged (FlExperimentConfig::shards).
-  if (have_knobs) {
-    data::SynthConfig data_config;
-    data_config.num_devices = 60;
-    data_config.hash_dim = 1u << 12;
-    const auto dataset = data::GenerateSyntheticAvazu(data_config);
-    core::FlExperimentConfig fl;
-    fl.rounds = 2;
-    fl.trigger = cloud::AggregationTrigger::kScheduled;
-    fl.schedule_period = Seconds(30.0);
-    fl.strategy = flow::RealtimeAccumulated{
-        {1}, 0.0, flow::kShardWidthInvariantCapacity};
-    fl.parallelism = execution_knobs.parallelism;
-    fl.shards = execution_knobs.shards;
-    fl.decode_plane = execution_knobs.decode_plane;
-    const auto fl_result = platform.RunFlExperiment(dataset, fl);
-    std::printf("\nspec-driven FL (%zu devices, %zu fleet shards):\n",
-                dataset.devices.size(),
-                std::max<std::size_t>(1, execution_knobs.shards));
-    for (const auto& round : fl_result.rounds) {
+  // Priority-greedy admission (the default policy); pass
+  // mode = kWeightedFair + max_fleet_share to bound any tenant's slice.
+  const auto results = platform.RunMultiTenantExperiment(std::move(tenants));
+
+  for (const auto& tenant : results) {
+    if (!tenant.completed) {
+      std::printf("%s: NOT RUN (%s)\n", tenant.id.ToString().c_str(),
+                  tenant.detail.c_str());
+      continue;
+    }
+    const core::TaskSlaReport& sla = tenant.sla;
+    std::printf(
+        "%s: completed %zu rounds — queue wait %.1fs, makespan %.1fs, "
+        "round latency p50/p95/p99 %.1f/%.1f/%.1f s, retries %zu, "
+        "deadline drops %zu, degraded rounds %zu\n",
+        tenant.id.ToString().c_str(), sla.rounds, sla.queue_wait_s,
+        sla.makespan_s, sla.round_latency_p50_s, sla.round_latency_p95_s,
+        sla.round_latency_p99_s, sla.retries, sla.deadline_drops,
+        sla.rounds_degraded);
+    for (const auto& round : tenant.result.rounds) {
       std::printf("  round %zu @ %5.1fs: test acc %.4f, logloss %.4f\n",
                   round.round, ToSeconds(round.time), round.test_accuracy,
                   round.test_logloss);
     }
   }
+  std::printf("\n%s\n", core::RenderStatus(platform).c_str());
   return 0;
 }

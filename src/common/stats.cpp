@@ -162,6 +162,33 @@ double Histogram::bin_hi(std::size_t i) const {
   return lo_ + width * static_cast<double>(i + 1);
 }
 
+double Histogram::ApproxPercentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-th sample under the nearest-rank-with-interpolation
+  // convention: p spans [first sample, last sample].
+  const double rank = p * static_cast<double>(total_ - 1);
+  const auto target = static_cast<std::size_t>(rank);
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] > target) {
+      // The target rank lands in bin i. Model the bin's k samples as
+      // sitting at the midpoints of k equal sub-intervals of
+      // [bin_lo, bin_hi) — the +0.5 keeps a lone sample estimated at the
+      // bin's midpoint rather than its lower edge — and interpolate to
+      // the rank's position.
+      const double within =
+          std::clamp((rank - static_cast<double>(seen) + 0.5) /
+                         static_cast<double>(counts_[i]),
+                     0.0, 1.0);
+      return bin_lo(i) + (bin_hi(i) - bin_lo(i)) * within;
+    }
+    seen += counts_[i];
+  }
+  return bin_hi(counts_.size() - 1);  // unreachable for consistent totals
+}
+
 std::string Histogram::ToAscii(std::size_t width) const {
   std::size_t peak = 0;
   for (std::size_t c : counts_) peak = std::max(peak, c);

@@ -70,6 +70,12 @@ class Histogram {
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
 
+  /// Approximate percentile (p in [0, 1]) by linear interpolation inside
+  /// the bin holding the p-th sample, assuming samples spread uniformly
+  /// within each bin — exact to one bin of resolution. Returns 0 on an
+  /// empty histogram; p clamps to [0, 1].
+  double ApproxPercentile(double p) const;
+
   /// Renders a compact ASCII bar chart (used by bench binaries).
   std::string ToAscii(std::size_t width = 40) const;
 

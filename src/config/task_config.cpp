@@ -554,4 +554,37 @@ Result<sched::TaskSpec> ParseTaskSpec(std::string_view text) {
   return LoadTaskSpec(*doc);
 }
 
+Result<TenantSpecConfig> LoadTenantSpec(const IniDocument& doc) {
+  TenantSpecConfig config;
+  auto spec = LoadTaskSpec(doc);
+  if (!spec.ok()) return spec.error();
+  config.spec = std::move(*spec);
+  if (doc.find("traffic") != doc.end()) {
+    auto strategy = LoadStrategy(doc);
+    if (!strategy.ok()) return strategy.error();
+    config.strategy = std::move(*strategy);
+    config.has_strategy = true;
+  }
+  auto link = LoadLinkPolicy(doc);
+  if (!link.ok()) return link.error();
+  config.link = *link;
+  auto behavior = LoadBehavior(doc);
+  if (!behavior.ok()) return behavior.error();
+  config.behavior = *behavior;
+  auto execution = LoadExecution(doc);
+  if (!execution.ok()) return execution.error();
+  config.execution = std::move(*execution);
+  if (doc.find("aggregation") != doc.end()) {
+    // model_dim is the dataset's business, not the spec's; 0 here, the
+    // engine fills it when the experiment is assembled.
+    auto aggregation = LoadAggregation(doc, 0);
+    if (!aggregation.ok()) return aggregation.error();
+    config.trigger = aggregation->trigger;
+    config.sample_threshold = aggregation->sample_threshold;
+    config.schedule_period = aggregation->schedule_period;
+    config.reject_stale = aggregation->reject_stale;
+  }
+  return config;
+}
+
 }  // namespace simdc::config

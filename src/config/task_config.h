@@ -166,4 +166,32 @@ Result<flow::LinkPolicy> LoadLinkPolicy(const IniDocument& doc);
 /// One-call convenience: parse text and build the TaskSpec.
 Result<sched::TaskSpec> ParseTaskSpec(std::string_view text);
 
+/// Everything one tenant's spec pins, loaded per spec — the multi-tenant
+/// plane gives EACH task its own copy of these (its own Dispatcher link
+/// policy, its own AggregationService quorum/deadline knobs), where the
+/// single-task workflow historically applied one global set.
+struct TenantSpecConfig {
+  sched::TaskSpec spec;
+  /// From [traffic]; pass-through default when the section is absent
+  /// (has_strategy distinguishes "absent" from an explicit realtime{1}).
+  flow::DispatchStrategy strategy = flow::RealtimeAccumulated{{1}, 0.0};
+  bool has_strategy = false;
+  /// From [link] / [behavior] / [execution]; inactive defaults when absent.
+  flow::LinkPolicy link;
+  device::BehaviorConfig behavior;
+  ExecutionConfig execution;
+  /// From [aggregation]; scheduled/60s default when absent.
+  cloud::AggregationTrigger trigger = cloud::AggregationTrigger::kScheduled;
+  std::size_t sample_threshold = 1000;
+  SimDuration schedule_period = Seconds(60.0);
+  bool reject_stale = false;
+};
+
+/// Loads one tenant's complete per-task configuration from a spec
+/// document: [task]/[devices.*] (required), plus [traffic], [link],
+/// [behavior], [execution] and [aggregation] (each optional, defaulting
+/// as documented on TenantSpecConfig). Malformed present sections are
+/// errors, never silently defaulted.
+Result<TenantSpecConfig> LoadTenantSpec(const IniDocument& doc);
+
 }  // namespace simdc::config

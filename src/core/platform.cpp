@@ -182,4 +182,17 @@ FlRunResult Platform::RunFlExperiment(const data::FederatedDataset& dataset,
   return engine.Run();
 }
 
+std::vector<TenantResult> Platform::RunMultiTenantExperiment(
+    std::vector<TenantTask> tasks, const sched::SchedulePolicy& policy) {
+  MultiTenantEngine engine(loop_, resources_, &workers_);
+  for (TenantTask& task : tasks) {
+    if (const Status submitted = engine.Submit(std::move(task));
+        !submitted.ok()) {
+      SIMDC_LOG(kWarn, "Platform")
+          << "multi-tenant submit failed: " << submitted.ToString();
+    }
+  }
+  return engine.Run(policy);
+}
+
 }  // namespace simdc::core

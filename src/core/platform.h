@@ -13,6 +13,7 @@
 #include "cloud/storage.h"
 #include "common/error.h"
 #include "core/fl_engine.h"
+#include "core/multi_tenant.h"
 #include "data/example.h"
 #include "phonemgr/phone_mgr.h"
 #include "sched/allocation.h"
@@ -98,6 +99,19 @@ class Platform {
   /// decode — bit-identical either way (FlExperimentConfig::decode_plane).
   FlRunResult RunFlExperiment(const data::FederatedDataset& dataset,
                               FlExperimentConfig config);
+
+  /// Runs N FL tenants concurrently on the platform's shared fleet: the
+  /// greedy scheduler admits them from the queue against the platform's
+  /// ResourceManager under `policy` (priority or weighted-fair, plus the
+  /// fleet-share admission cap), each admitted tenant runs its own
+  /// TaskRuntime — per-task strategy, LinkPolicy, quorum/deadline knobs,
+  /// seed — on the shared event loop and worker pool, and completions
+  /// release resources and re-arbitrate. Returns per-tenant results in
+  /// ascending task-id order; see core::MultiTenantEngine for the
+  /// determinism contract (bit-identical per-task results at any shard
+  /// width / parallelism; contention-free runs match solo runs).
+  std::vector<TenantResult> RunMultiTenantExperiment(
+      std::vector<TenantTask> tasks, const sched::SchedulePolicy& policy = {});
 
   // --- Subsystem access for experiments and tests ---
   sim::EventLoop& loop() { return loop_; }

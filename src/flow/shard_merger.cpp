@@ -63,47 +63,49 @@ SimTime ShardMerger::NextTickTime() const {
 
 std::size_t ShardMerger::DrainUpTo(SimTime horizon) {
   std::size_t forwarded = 0;
-  for (;;) {
-    // Equal tick times resolve by first-message id (globally wave- then
-    // device-ordered — the single-loop scheduling order), then by shard
-    // index; strict-less keeps per-shard FIFO as the final tie-break.
-    SimTime best = sim::EventLoop::kNoEvent;
-    std::uint64_t best_key = 0;
-    std::size_t shard = 0;
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
-      const ShardChannel& channel = channels_[s];
-      if (channel.ticks_.empty()) continue;
-      const SimTime t = channel.ticks_.front().time;
-      const std::uint64_t key = channel.ticks_.front().key;
-      if (t < best || (t == best && key < best_key)) {
-        best = t;
-        best_key = key;
-        shard = s;
-      }
-    }
-    if (best == sim::EventLoop::kNoEvent || best > horizon) break;
-
-    // Pop before forwarding: downstream feedback may re-enter
-    // NextTickTime() (via the lockstep hooks) and must not see this tick.
-    ShardChannel::Tick tick = std::move(channels_[shard].ticks_.front());
-    channels_[shard].ticks_.pop_front();
-
-    // Mirror the clock a directly-scheduled delivery event would see: the
-    // delivery fires at the tick's first arrival.
-    if (cloud_loop_ != nullptr) cloud_loop_->RunUntil(tick.time);
-    if (!tick.updates.empty()) {
-      downstream_->DeliverDecodedBatch(
-          std::span<const DecodedUpdate>(tick.updates),
-          std::span<const SimTime>(tick.arrivals));
-    } else {
-      downstream_->DeliverBatch(std::span<const Message>(tick.messages),
-                                std::span<const SimTime>(tick.arrivals));
-    }
-    ++forwarded;
-    ++ticks_merged_;
-    messages_merged_ += tick.messages.size() + tick.updates.size();
-  }
+  while (DrainOne(horizon)) ++forwarded;
   return forwarded;
+}
+
+bool ShardMerger::DrainOne(SimTime horizon) {
+  // Equal tick times resolve by first-message id (globally wave- then
+  // device-ordered — the single-loop scheduling order), then by shard
+  // index; strict-less keeps per-shard FIFO as the final tie-break.
+  SimTime best = sim::EventLoop::kNoEvent;
+  std::uint64_t best_key = 0;
+  std::size_t shard = 0;
+  for (std::size_t s = 0; s < channels_.size(); ++s) {
+    const ShardChannel& channel = channels_[s];
+    if (channel.ticks_.empty()) continue;
+    const SimTime t = channel.ticks_.front().time;
+    const std::uint64_t key = channel.ticks_.front().key;
+    if (t < best || (t == best && key < best_key)) {
+      best = t;
+      best_key = key;
+      shard = s;
+    }
+  }
+  if (best == sim::EventLoop::kNoEvent || best > horizon) return false;
+
+  // Pop before forwarding: downstream feedback may re-enter
+  // NextTickTime() (via the lockstep hooks) and must not see this tick.
+  ShardChannel::Tick tick = std::move(channels_[shard].ticks_.front());
+  channels_[shard].ticks_.pop_front();
+
+  // Mirror the clock a directly-scheduled delivery event would see: the
+  // delivery fires at the tick's first arrival.
+  if (cloud_loop_ != nullptr) cloud_loop_->RunUntil(tick.time);
+  if (!tick.updates.empty()) {
+    downstream_->DeliverDecodedBatch(
+        std::span<const DecodedUpdate>(tick.updates),
+        std::span<const SimTime>(tick.arrivals));
+  } else {
+    downstream_->DeliverBatch(std::span<const Message>(tick.messages),
+                              std::span<const SimTime>(tick.arrivals));
+  }
+  ++ticks_merged_;
+  messages_merged_ += tick.messages.size() + tick.updates.size();
+  return true;
 }
 
 }  // namespace simdc::flow

@@ -100,6 +100,14 @@ class ShardMerger {
   /// so the drain loop needs no snapshotting.
   std::size_t DrainUpTo(SimTime horizon);
 
+  /// Forwards exactly the single earliest buffered tick if its time is
+  /// <= horizon; returns whether one was forwarded. This is the
+  /// single-step building block multi-tenant drivers interleave across
+  /// tasks: globally-earliest-first, ties in fixed task order, one tick at
+  /// a time, so every tenant's downstream observes the same clock and
+  /// order it would have seen running solo.
+  bool DrainOne(SimTime horizon);
+
   std::size_t ticks_merged() const { return ticks_merged_; }
   std::size_t messages_merged() const { return messages_merged_; }
 

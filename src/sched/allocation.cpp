@@ -253,4 +253,57 @@ std::vector<std::size_t> FixedRatioAllocation(
   return x;
 }
 
+std::vector<std::size_t> SolveWeightedFairShares(
+    const std::vector<TenantDemand>& tenants, std::size_t capacity) {
+  std::vector<std::size_t> shares(tenants.size(), 0);
+  std::size_t remaining = capacity;
+  // Water-filling sweeps: proportional grants shrink the unsatisfied set
+  // each pass (a tenant whose demand is met leaves W), so the loop runs at
+  // most tenants+1 proportional sweeps before the single-unit fallback.
+  for (;;) {
+    std::size_t unsatisfied_weight = 0;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      if (shares[i] < tenants[i].demand) {
+        unsatisfied_weight += std::max<std::size_t>(1, tenants[i].weight);
+      }
+    }
+    if (unsatisfied_weight == 0 || remaining == 0) break;
+    std::size_t granted = 0;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      if (shares[i] >= tenants[i].demand) continue;
+      const std::size_t w = std::max<std::size_t>(1, tenants[i].weight);
+      const std::size_t quota = remaining * w / unsatisfied_weight;
+      const std::size_t grant =
+          std::min(quota, tenants[i].demand - shares[i]);
+      shares[i] += grant;
+      granted += grant;
+      // remaining stays fixed within the sweep so every tenant's quota is
+      // computed against the same waterline; it drops between sweeps.
+    }
+    if (granted == 0) {
+      // Integer starvation: every unsatisfied quota floored to zero.
+      // Hand out the leftovers one unit at a time, heaviest tenant first,
+      // index order among equals — still fully deterministic.
+      while (remaining > 0) {
+        std::size_t best = tenants.size();
+        std::size_t best_w = 0;
+        for (std::size_t i = 0; i < tenants.size(); ++i) {
+          if (shares[i] >= tenants[i].demand) continue;
+          const std::size_t w = std::max<std::size_t>(1, tenants[i].weight);
+          if (best == tenants.size() || w > best_w) {
+            best = i;
+            best_w = w;
+          }
+        }
+        if (best == tenants.size()) break;
+        ++shares[best];
+        --remaining;
+      }
+      break;
+    }
+    remaining -= granted;
+  }
+  return shares;
+}
+
 }  // namespace simdc::sched

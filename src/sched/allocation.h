@@ -73,4 +73,23 @@ Result<AllocationResult> BruteForceAllocation(
 std::vector<std::size_t> FixedRatioAllocation(
     const std::vector<GradeAllocationInput>& grades, double logical_ratio);
 
+/// One tenant competing for a shared pool of fungible units (the
+/// multi-tenant scheduler uses total phones as the unit).
+struct TenantDemand {
+  std::size_t demand = 0;  // units the tenant wants right now
+  std::size_t weight = 1;  // fair-share weight (>= 1; 0 is treated as 1)
+};
+
+/// Weighted max-min fair integer shares over `capacity` units: classic
+/// water-filling. Repeatedly grants each unsatisfied tenant
+/// floor(remaining · w_i / W) (W = sum of unsatisfied weights), capping at
+/// its demand; when a whole sweep grants nothing but units remain, the
+/// leftover goes one unit at a time in (weight desc, index asc) order.
+/// Properties: share_i <= demand_i, sum(shares) <= capacity, fully
+/// deterministic in tenant index order, and any tenant demanding at least
+/// its proportional slice receives at least floor(capacity · w_i / W_all)
+/// minus integer slack (< number of tenants).
+std::vector<std::size_t> SolveWeightedFairShares(
+    const std::vector<TenantDemand>& tenants, std::size_t capacity);
+
 }  // namespace simdc::sched

@@ -6,10 +6,8 @@ namespace simdc::sched {
 
 Status TaskQueue::Submit(TaskSpec task) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& entry : entries_) {
-    if (entry.task.id == task.id) {
-      return AlreadyExists("task already queued: " + task.id.ToString());
-    }
+  if (!ids_.insert(task.id).second) {
+    return AlreadyExists("task already queued: " + task.id.ToString());
   }
   entries_.push_back(Entry{std::move(task), next_sequence_++});
   return Status::Ok();
@@ -17,6 +15,7 @@ Status TaskQueue::Submit(TaskSpec task) {
 
 std::optional<TaskSpec> TaskQueue::Remove(TaskId id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (ids_.erase(id) == 0) return std::nullopt;
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->task.id == id) {
       TaskSpec task = std::move(it->task);
@@ -24,7 +23,7 @@ std::optional<TaskSpec> TaskQueue::Remove(TaskId id) {
       return task;
     }
   }
-  return std::nullopt;
+  return std::nullopt;  // unreachable: ids_ mirrors entries_
 }
 
 std::vector<TaskSpec> TaskQueue::SnapshotOrdered() const {
@@ -45,10 +44,7 @@ std::vector<TaskSpec> TaskQueue::SnapshotOrdered() const {
 
 bool TaskQueue::Contains(TaskId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& entry : entries_) {
-    if (entry.task.id == id) return true;
-  }
-  return false;
+  return ids_.count(id) != 0;
 }
 
 std::size_t TaskQueue::size() const {

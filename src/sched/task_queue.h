@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/error.h"
@@ -37,6 +38,9 @@ class TaskQueue {
   };
   mutable std::mutex mutex_;
   std::deque<Entry> entries_;
+  /// Ids currently queued — O(1) duplicate check and Contains under heavy
+  /// submit traffic (entries_ stays the source of truth for order).
+  std::unordered_set<TaskId> ids_;
   std::uint64_t next_sequence_ = 0;
 };
 

@@ -445,6 +445,37 @@ TEST(HistogramTest, ToAsciiHandlesWideLabelsAndLargeCounts) {
             13);
 }
 
+TEST(HistogramTest, ApproxPercentileInterpolatesWithinBins) {
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 4).ApproxPercentile(0.5), 0.0);
+
+  // A lone sample must be estimated near its own bin, not smeared to an
+  // edge: the within-bin midpoint convention bounds the error by half a
+  // bin width.
+  Histogram lone(0.0, 60.0, 256);
+  lone.Add(60.0);
+  for (double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_NEAR(lone.ApproxPercentile(p), 60.0, 60.0 / 256.0) << "p=" << p;
+  }
+
+  // Uniform spread: percentiles should track the sample values closely.
+  Histogram uniform(0.0, 100.0, 256);
+  for (int i = 0; i < 100; ++i) uniform.Add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(uniform.ApproxPercentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(uniform.ApproxPercentile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(uniform.ApproxPercentile(0.99), 99.0, 1.0);
+
+  // Quantile ordering is monotone and p is clamped to [0, 1].
+  const double p50 = uniform.ApproxPercentile(0.5);
+  const double p95 = uniform.ApproxPercentile(0.95);
+  const double p99 = uniform.ApproxPercentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_DOUBLE_EQ(uniform.ApproxPercentile(-0.5),
+                   uniform.ApproxPercentile(0.0));
+  EXPECT_DOUBLE_EQ(uniform.ApproxPercentile(2.0),
+                   uniform.ApproxPercentile(1.0));
+}
+
 // ---------- Strings ----------
 
 TEST(StringUtilTest, Split) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "config/task_config.h"
+#include "core/multi_tenant.h"
 #include "sched/scheduler.h"
 
 namespace simdc::config {
@@ -426,6 +427,120 @@ TEST(RoundTripTest, FullSpecProducesSchedulableTask) {
   EXPECT_EQ(request.logical_bundles, 200u);
   EXPECT_EQ(request.phones[0], 17u);  // 12 + 5 benchmarking
   EXPECT_EQ(request.phones[1], 13u);
+}
+
+// ---------- per-tenant specs (multi-tenant plane) ----------
+
+constexpr const char* kLossyTenantSpec = R"(
+[task]
+name = lossy-tenant
+priority = 7
+rounds = 3
+
+[devices.high]
+count = 50
+logical_bundles = 40
+phones = 4
+
+[link]
+transient_failure_probability = 0.2
+max_attempts = 4
+backoff_initial_s = 2
+upload_deadline_s = 120
+
+[execution]
+shards = 2
+round_quorum = 25
+round_deadline_s = 90
+round_extension_s = 30
+)";
+
+constexpr const char* kCleanTenantSpec = R"(
+[task]
+name = clean-tenant
+priority = 2
+rounds = 1
+
+[devices.high]
+count = 20
+logical_bundles = 16
+phones = 2
+)";
+
+TEST(TenantSpecTest, TwoSpecsYieldTwoDistinctPolicies) {
+  // The historical failure mode: [link] and round_quorum parsed per spec
+  // but only one global set was applied. LoadTenantSpec must keep each
+  // spec's policies separate — one lossy/quorum'd tenant, one default.
+  auto lossy_doc = ParseIni(kLossyTenantSpec);
+  auto clean_doc = ParseIni(kCleanTenantSpec);
+  ASSERT_TRUE(lossy_doc.ok());
+  ASSERT_TRUE(clean_doc.ok());
+  auto lossy = LoadTenantSpec(*lossy_doc);
+  auto clean = LoadTenantSpec(*clean_doc);
+  ASSERT_TRUE(lossy.ok());
+  ASSERT_TRUE(clean.ok());
+
+  EXPECT_EQ(lossy->spec.name, "lossy-tenant");
+  EXPECT_DOUBLE_EQ(lossy->link.transient_failure_probability, 0.2);
+  EXPECT_EQ(lossy->link.max_attempts, 4u);
+  EXPECT_EQ(lossy->link.upload_deadline, Seconds(120.0));
+  EXPECT_TRUE(lossy->link.active());
+  EXPECT_EQ(lossy->execution.round_quorum, 25u);
+  EXPECT_EQ(lossy->execution.round_deadline, Seconds(90.0));
+  EXPECT_EQ(lossy->execution.shards, 2u);
+
+  EXPECT_EQ(clean->spec.name, "clean-tenant");
+  EXPECT_DOUBLE_EQ(clean->link.transient_failure_probability, 0.0);
+  EXPECT_EQ(clean->link.max_attempts, 1u);
+  EXPECT_FALSE(clean->link.active());
+  EXPECT_EQ(clean->execution.round_quorum, 0u);
+  EXPECT_EQ(clean->execution.shards, 0u);
+
+  // And the mapping into per-task experiments preserves the split.
+  const auto lossy_fl = core::ExperimentFromTenantSpec(*lossy, 1);
+  const auto clean_fl = core::ExperimentFromTenantSpec(*clean, 2);
+  EXPECT_DOUBLE_EQ(lossy_fl.link.transient_failure_probability, 0.2);
+  EXPECT_EQ(lossy_fl.round_quorum, 25u);
+  EXPECT_EQ(lossy_fl.shards, 2u);
+  EXPECT_EQ(lossy_fl.rounds, 3u);
+  EXPECT_DOUBLE_EQ(clean_fl.link.transient_failure_probability, 0.0);
+  EXPECT_EQ(clean_fl.round_quorum, 0u);
+  EXPECT_EQ(clean_fl.shards, 1u);  // 0 in the spec → single fleet
+  EXPECT_EQ(clean_fl.rounds, 1u);
+}
+
+TEST(TenantSpecTest, StrategyPresenceIsTracked) {
+  auto with_traffic = ParseIni(
+      "[task]\nname = t\nrounds = 1\n"
+      "[devices.high]\ncount = 10\nlogical_bundles = 8\nphones = 1\n"
+      "[traffic]\nstrategy = realtime\nthresholds = 5\n");
+  ASSERT_TRUE(with_traffic.ok());
+  auto spec = LoadTenantSpec(*with_traffic);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->has_strategy);
+
+  auto without_traffic = ParseIni(
+      "[task]\nname = t\nrounds = 1\n"
+      "[devices.high]\ncount = 10\nlogical_bundles = 8\nphones = 1\n");
+  ASSERT_TRUE(without_traffic.ok());
+  auto defaulted = LoadTenantSpec(*without_traffic);
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_FALSE(defaulted->has_strategy);
+}
+
+TEST(TenantSpecTest, MalformedPresentSectionsAreErrors) {
+  // A present-but-broken [link] section must fail loudly, never default.
+  auto bad_link = ParseIni(
+      "[task]\nname = t\nrounds = 1\n"
+      "[devices.high]\ncount = 10\nlogical_bundles = 8\nphones = 1\n"
+      "[link]\ntransient_failure_probability = 1.5\n");
+  ASSERT_TRUE(bad_link.ok());
+  EXPECT_FALSE(LoadTenantSpec(*bad_link).ok());
+
+  // A tenant with no [devices.*] section has nothing to schedule.
+  auto no_devices = ParseIni("[task]\nname = t\nrounds = 1\n");
+  ASSERT_TRUE(no_devices.ok());
+  EXPECT_FALSE(LoadTenantSpec(*no_devices).ok());
 }
 
 }  // namespace

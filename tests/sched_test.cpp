@@ -3,12 +3,19 @@
 // greedy scheduler and task runner.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <thread>
+
 #include "common/rng.h"
+#include "device/fleet.h"
+#include "phonemgr/phone_mgr.h"
 #include "sched/allocation.h"
 #include "sched/resource_manager.h"
 #include "sched/scheduler.h"
 #include "sched/task_queue.h"
 #include "sched/task_runner.h"
+#include "sim/event_loop.h"
 
 namespace simdc::sched {
 namespace {
@@ -478,6 +485,302 @@ TEST(OperatorFlowTest, DefaultIsDownloadTrainUpload) {
   EXPECT_EQ(flow[0].kind, OperatorStep::Kind::kDownload);
   EXPECT_EQ(flow[1].kind, OperatorStep::Kind::kTrain);
   EXPECT_EQ(flow[2].kind, OperatorStep::Kind::kUpload);
+}
+
+// ---------- SolveWeightedFairShares ----------
+
+TEST(WeightedFairSharesTest, AmpleCapacityMeetsEveryDemand) {
+  const auto shares = SolveWeightedFairShares(
+      {{30, 1}, {20, 5}, {10, 2}}, /*capacity=*/100);
+  EXPECT_EQ(shares, (std::vector<std::size_t>{30, 20, 10}));
+}
+
+TEST(WeightedFairSharesTest, ScarcityWaterFillsEqualWeights) {
+  // Demands {90, 30} over 100: sweep 1 grants {50, 30}; the satisfied
+  // tenant leaves and the remaining 20 tops tenant 0 up to 70.
+  const auto shares =
+      SolveWeightedFairShares({{90, 5}, {30, 5}}, /*capacity=*/100);
+  EXPECT_EQ(shares, (std::vector<std::size_t>{70, 30}));
+}
+
+TEST(WeightedFairSharesTest, WeightsSkewTheSplit) {
+  const auto shares =
+      SolveWeightedFairShares({{60, 2}, {60, 1}}, /*capacity=*/90);
+  EXPECT_EQ(shares, (std::vector<std::size_t>{60, 30}));
+}
+
+TEST(WeightedFairSharesTest, ZeroWeightTreatedAsOne) {
+  const auto shares =
+      SolveWeightedFairShares({{50, 0}, {50, 0}}, /*capacity=*/50);
+  EXPECT_EQ(shares, (std::vector<std::size_t>{25, 25}));
+}
+
+TEST(WeightedFairSharesTest, IntegerStarvationFallsBackToSingleUnits) {
+  // One unit over two equal tenants: quotas floor to zero, so the
+  // deterministic single-unit fallback hands it to the first index.
+  const auto shares =
+      SolveWeightedFairShares({{5, 1}, {5, 1}}, /*capacity=*/1);
+  EXPECT_EQ(shares, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(WeightedFairSharesTest, EmptyAndZeroCapacity) {
+  EXPECT_TRUE(SolveWeightedFairShares({}, 10).empty());
+  EXPECT_EQ(SolveWeightedFairShares({{5, 1}}, 0),
+            (std::vector<std::size_t>{0}));
+}
+
+// ---------- SchedulePassEx: fairness + admission control ----------
+
+TEST(SchedulePassExTest, WeightedFairHoldsBackOverShareTenant) {
+  ResourceManager manager(1000, {100, 10});
+  GreedyScheduler scheduler(manager);
+  TaskQueue queue;
+  auto big = MakeTask(1, 5);
+  big.requirements[0].phones = 90;
+  auto small = MakeTask(2, 5);
+  small.requirements[0].phones = 30;
+  ASSERT_TRUE(queue.Submit(big).ok());
+  ASSERT_TRUE(queue.Submit(small).ok());
+
+  SchedulePolicy policy;
+  policy.mode = ScheduleMode::kWeightedFair;
+  const auto decision = scheduler.SchedulePassEx(queue, policy);
+  // Fair shares over the 110 free phones... demand is counted in phones:
+  // {90, 30} against 110 free → shares {80, 30}: the big tenant exceeds
+  // its share and stays QUEUED (not rejected); the small one launches.
+  ASSERT_EQ(decision.launched.size(), 1u);
+  EXPECT_EQ(decision.launched[0].id, TaskId(2));
+  EXPECT_TRUE(decision.rejected.empty());
+  EXPECT_TRUE(queue.Contains(TaskId(1)));
+
+  // Once the small tenant finishes, a fresh pass admits the big one.
+  ASSERT_TRUE(manager.Release(RequestFor(decision.launched[0])).ok());
+  const auto second = scheduler.SchedulePassEx(queue, policy);
+  ASSERT_EQ(second.launched.size(), 1u);
+  EXPECT_EQ(second.launched[0].id, TaskId(1));
+}
+
+TEST(SchedulePassExTest, AdmissionControlRejectsImpossibleDemand) {
+  ResourceManager manager(100, {10, 10});
+  GreedyScheduler scheduler(manager);
+  TaskQueue queue;
+  auto impossible = MakeTask(1, 9);
+  impossible.requirements[0].phones = 20;  // > 10 High phones exist
+  ASSERT_TRUE(queue.Submit(impossible).ok());
+  ASSERT_TRUE(queue.Submit(MakeTask(2, 1)).ok());
+
+  const auto decision = scheduler.SchedulePassEx(queue, SchedulePolicy{});
+  ASSERT_EQ(decision.rejected.size(), 1u);
+  EXPECT_EQ(decision.rejected[0].id, TaskId(1));
+  ASSERT_EQ(decision.launched.size(), 1u);
+  EXPECT_EQ(decision.launched[0].id, TaskId(2));
+  EXPECT_FALSE(queue.Contains(TaskId(1)));  // removed, never retried
+}
+
+TEST(SchedulePassExTest, FleetShareCapRejectsPermanently) {
+  ResourceManager manager(100, {10, 10});  // 20 phones total
+  GreedyScheduler scheduler(manager);
+  TaskQueue queue;
+  // 6 + 6 phones: fits each grade's 10-phone pool, but the TOTAL of 12
+  // exceeds the 0.5 × 20 fleet-share cap — the cap alone must reject it.
+  auto heavy = MakeTask(1, 9);
+  heavy.requirements[0].phones = 6;
+  DeviceRequirement low;
+  low.grade = DeviceGrade::kLow;
+  low.num_devices = 10;
+  low.logical_bundles = 16;
+  low.phones = 6;
+  heavy.requirements.push_back(low);
+  auto light = MakeTask(2, 1);
+  light.requirements[0].phones = 10;  // exactly at the cap
+  ASSERT_TRUE(queue.Submit(heavy).ok());
+  ASSERT_TRUE(queue.Submit(light).ok());
+
+  SchedulePolicy policy;
+  policy.max_fleet_share = 0.5;
+  const auto decision = scheduler.SchedulePassEx(queue, policy);
+  ASSERT_EQ(decision.rejected.size(), 1u);
+  EXPECT_EQ(decision.rejected[0].id, TaskId(1));
+  ASSERT_EQ(decision.launched.size(), 1u);
+  EXPECT_EQ(decision.launched[0].id, TaskId(2));
+}
+
+// ---------- TaskQueue under concurrent traffic ----------
+
+TEST(TaskQueueTest, ConcurrentSubmitRemoveSnapshotStress) {
+  // Writers submit while the main thread snapshots and removes. Every
+  // snapshot must be priority-desc with FIFO stability among equals, and
+  // every id must end up either removed exactly once or still queued.
+  TaskQueue queue;
+  constexpr std::uint64_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 200;
+  constexpr std::uint64_t kTotal = kWriters * kPerWriter;
+  std::atomic<bool> start{false};
+  std::atomic<std::size_t> submit_failures{0};
+  std::vector<std::thread> writers;
+  for (std::uint64_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!start.load()) {
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t id = w * kPerWriter + i + 1;
+        if (!queue.Submit(MakeTask(id, static_cast<int>(id % 5))).ok()) {
+          ++submit_failures;
+        }
+      }
+    });
+  }
+  start = true;
+
+  std::set<std::uint64_t> removed;
+  bool order_ok = true;
+  while (removed.size() < kTotal / 2) {
+    const auto snapshot = queue.SnapshotOrdered();
+    // Priority order, and FIFO among equals: a writer submits its ids in
+    // ascending order, so two same-priority tasks from one writer must
+    // appear in ascending-id order in every snapshot.
+    for (std::size_t i = 1; i < snapshot.size(); ++i) {
+      if (snapshot[i - 1].priority < snapshot[i].priority) order_ok = false;
+    }
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      for (std::size_t j = i + 1; j < snapshot.size(); ++j) {
+        const std::uint64_t a = snapshot[i].id.value();
+        const std::uint64_t b = snapshot[j].id.value();
+        if (snapshot[i].priority == snapshot[j].priority &&
+            (a - 1) / kPerWriter == (b - 1) / kPerWriter && a > b) {
+          order_ok = false;
+        }
+      }
+    }
+    // Remove every other snapshotted task; each must come back exactly
+    // once with the right id.
+    for (std::size_t i = 0; i < snapshot.size(); i += 2) {
+      if (removed.size() >= kTotal / 2) break;
+      auto task = queue.Remove(snapshot[i].id);
+      if (!task.has_value()) continue;  // raced with nothing: ok, skip
+      EXPECT_EQ(task->id, snapshot[i].id);
+      EXPECT_TRUE(removed.insert(task->id.value()).second)
+          << "double-removed " << task->id.ToString();
+    }
+  }
+  for (auto& writer : writers) writer.join();
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(submit_failures.load(), 0u);
+
+  // Partition check: removed ∪ still-queued == all submitted ids.
+  const auto rest = queue.SnapshotOrdered();
+  EXPECT_EQ(removed.size() + rest.size(), kTotal);
+  for (const auto& task : rest) {
+    EXPECT_EQ(removed.count(task.id.value()), 0u);
+    EXPECT_TRUE(queue.Contains(task.id));
+  }
+}
+
+// ---------- ResourceManager contention ----------
+
+TEST(ResourceManagerTest, ConcurrentTenantsNeverOversubscribe) {
+  // Eight tenants race to freeze {10 bundles, 2+2 phones} against a pool
+  // that fits exactly four: all-or-nothing freezing must admit exactly
+  // four, never tear a partial grant.
+  ResourceManager manager(40, {10, 10});
+  ResourceRequest request;
+  request.logical_bundles = 10;
+  request.phones = {2, 2};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> tenants;
+  for (int i = 0; i < 8; ++i) {
+    tenants.emplace_back([&] {
+      if (manager.Freeze(request).ok()) ++successes;
+    });
+  }
+  for (auto& tenant : tenants) tenant.join();
+  EXPECT_EQ(successes.load(), 4);
+  const auto snapshot = manager.Snapshot();
+  EXPECT_EQ(snapshot.logical_bundles_free, 0u);
+  EXPECT_EQ(snapshot.phones_free[0], 2u);
+  EXPECT_EQ(snapshot.phones_free[1], 2u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(manager.Release(request).ok());
+  EXPECT_EQ(manager.Snapshot().logical_bundles_free, 40u);
+}
+
+// ---------- Phone cluster contention (grade × locality pools) ----------
+
+device::PhoneJob HighGradeJob(std::uint64_t task, std::size_t phones) {
+  device::PhoneJob job;
+  job.task = TaskId(task);
+  job.grade = DeviceGrade::kHigh;
+  job.devices_to_simulate = phones;
+  job.computing_phones = phones;
+  job.rounds = 1;
+  job.round_duration_s = 1.0;
+  job.startup_s = 1.0;
+  job.aggregation_wait_s = 0.0;
+  return job;
+}
+
+TEST(PhoneContentionTest, OverlappingPoolsNeverDoubleBook) {
+  // Paper cluster: 4 local + 13 MSP High phones. Task 1 drains the
+  // preferred local pool; task 2's overlapping request must overflow to
+  // MSP phones without ever double-booking, and completion must return
+  // each phone to its own (grade, locality) free-list.
+  sim::EventLoop loop;
+  device::PhoneMgr mgr(loop);
+  mgr.RegisterFleet(device::MakeLocalFleet(4, 6, 42, 0));
+  mgr.RegisterFleet(device::MakeMspFleet(13, 7, 43, 1000));
+  ASSERT_EQ(mgr.CountIdle(DeviceGrade::kHigh), 17u);
+
+  const auto first = mgr.SubmitJob(HighGradeJob(1, 4));
+  ASSERT_TRUE(first.ok());
+  const auto second = mgr.SubmitJob(HighGradeJob(2, 6));
+  ASSERT_TRUE(second.ok());
+  std::set<std::uint64_t> booked;
+  for (PhoneId id : first->computing) {
+    EXPECT_LT(id.value(), 1000u);  // local pool preferred
+    EXPECT_TRUE(booked.insert(id.value()).second) << "double-booked";
+  }
+  for (PhoneId id : second->computing) {
+    EXPECT_GE(id.value(), 1000u);  // local pool exhausted → MSP
+    EXPECT_TRUE(booked.insert(id.value()).second) << "double-booked";
+  }
+  EXPECT_EQ(mgr.CountIdle(DeviceGrade::kHigh), 7u);
+
+  loop.Run();  // both jobs complete; phones released
+  EXPECT_EQ(mgr.CountIdle(DeviceGrade::kHigh), 17u);
+
+  // Released to the CORRECT free-list: a third job prefers local again
+  // and gets exactly the four phones task 1 held.
+  const auto third = mgr.SubmitJob(HighGradeJob(3, 4));
+  ASSERT_TRUE(third.ok());
+  std::set<std::uint64_t> first_ids, third_ids;
+  for (PhoneId id : first->computing) first_ids.insert(id.value());
+  for (PhoneId id : third->computing) third_ids.insert(id.value());
+  EXPECT_EQ(first_ids, third_ids);
+  loop.Run();
+
+  // CountersFor attributes work to the phones each task owned: the local
+  // four ran two jobs (tasks 1 and 3), the MSP six ran one (task 2), and
+  // phones no task touched ran none.
+  for (PhoneId id : first->computing) {
+    const auto counters = mgr.CountersFor(id);
+    ASSERT_TRUE(counters.has_value());
+    EXPECT_EQ(counters->jobs_assigned, 2u);
+    EXPECT_GE(counters->rounds_completed, 2u);
+  }
+  for (PhoneId id : second->computing) {
+    const auto counters = mgr.CountersFor(id);
+    ASSERT_TRUE(counters.has_value());
+    EXPECT_EQ(counters->jobs_assigned, 1u);
+    EXPECT_GE(counters->rounds_completed, 1u);
+  }
+  std::size_t untouched = 0;
+  for (std::uint64_t raw = 0; raw < 2000; ++raw) {
+    if (booked.count(raw) != 0) continue;
+    const auto counters = mgr.CountersFor(PhoneId(raw));
+    if (!counters.has_value()) continue;  // unregistered id
+    EXPECT_EQ(counters->jobs_assigned, 0u);
+    ++untouched;
+  }
+  EXPECT_EQ(untouched, 30u - booked.size());
 }
 
 }  // namespace
