@@ -7,11 +7,16 @@
 // bench/compare.py regression gate sees them.
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "bench_util.h"
 #include "cloud/storage.h"
+#include "common/rng.h"
 #include "data/synth_avazu.h"
 #include "device/grade.h"
 #include "flow/rate_functions.h"
@@ -277,6 +282,126 @@ void EmitAucRankOpTimings() {
   benchmark::DoNotOptimize(sink);
 }
 
+/// Hand-timed OPTIME ops for the FedAvg cascade kernels, plus the
+/// bit-identity asserts between kernel variants: fedavg_add_scalar (span
+/// reference loop) vs fedavg_add_simd (restrict-qualified pointer loop)
+/// must produce equal bits, and shard_reduce_{2,4,8} (k-way partial
+/// aggregators merged ascending) must publish the same model bits as one
+/// serial aggregator. Returns false on any mismatch so the bench exits
+/// non-zero — the same hard gate style as the fig8 equivalence checks.
+bool EmitFedAvgKernelOpTimings() {
+  constexpr std::uint32_t kDim = 1u << 14;
+  constexpr int kRepeats = 40;
+  bool identical = true;
+
+  // Deterministic adversarial weights: mixed magnitudes and signs.
+  Rng rng(0x5EED);
+  std::vector<float> weights(kDim);
+  for (auto& w : weights) {
+    const double magnitude =
+        std::pow(10.0, static_cast<double>(rng() % 11) - 5.0);
+    w = static_cast<float>((rng() & 1 ? 1.0 : -1.0) * magnitude);
+  }
+
+  // fedavg_add_scalar vs fedavg_add_simd over identical inputs.
+  std::vector<double> sum_a(kDim, 0.0), c1_a(kDim, 0.0), c2_a(kDim, 0.0);
+  const auto scalar_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    ml::kernels::CascadeAddScalar(weights, static_cast<double>(i + 1), sum_a,
+                                  c1_a, c2_a);
+  }
+  const auto scalar_elapsed = std::chrono::steady_clock::now() - scalar_start;
+  bench::OpTimings::Instance().Record(
+      "fedavg_add_scalar",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(scalar_elapsed)
+              .count()),
+      kRepeats);
+
+  std::vector<double> sum_b(kDim, 0.0), c1_b(kDim, 0.0), c2_b(kDim, 0.0);
+  const auto simd_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    ml::kernels::CascadeAdd(weights.data(), kDim, static_cast<double>(i + 1),
+                            sum_b.data(), c1_b.data(), c2_b.data());
+  }
+  const auto simd_elapsed = std::chrono::steady_clock::now() - simd_start;
+  bench::OpTimings::Instance().Record(
+      "fedavg_add_simd",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(simd_elapsed)
+              .count()),
+      kRepeats);
+  if (sum_a != sum_b || c1_a != c1_b || c2_a != c2_b) {
+    std::fprintf(stderr,
+                 "BIT MISMATCH: fedavg_add_simd != fedavg_add_scalar\n");
+    identical = false;
+  }
+
+  // shard_reduce_{2,4,8}: k partial aggregators + ascending MergeFrom vs
+  // one serial aggregator over the same update multiset.
+  constexpr std::size_t kClients = 64;
+  std::vector<ml::LrModel> models;
+  std::vector<std::size_t> samples;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ml::LrModel model(kDim);
+    for (std::uint32_t i = 0; i < kDim; ++i) {
+      model.weights()[i] = weights[(i + c) % kDim];
+    }
+    model.bias() = static_cast<float>(c) - 31.5f;
+    models.push_back(std::move(model));
+    samples.push_back(1 + c % 9);
+  }
+  ml::FedAvgAggregator serial(kDim);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    if (!serial.Add(models[c], samples[c]).ok()) identical = false;
+  }
+  const auto serial_model = serial.Aggregate();
+  if (!serial_model.ok()) identical = false;
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    const auto start = std::chrono::steady_clock::now();
+    ml::LrModel reduced(0);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      std::vector<ml::FedAvgAggregator> partials;
+      for (std::size_t s = 0; s < shards; ++s) partials.emplace_back(kDim);
+      for (std::size_t c = 0; c < kClients; ++c) {
+        if (!partials[c % shards].Add(models[c], samples[c]).ok()) {
+          identical = false;
+        }
+      }
+      ml::FedAvgAggregator merged(kDim);
+      for (const auto& partial : partials) merged.MergeFrom(partial);
+      auto model = merged.Aggregate();
+      if (!model.ok()) {
+        identical = false;
+        continue;
+      }
+      reduced = std::move(*model);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    bench::OpTimings::Instance().Record(
+        "shard_reduce_" + std::to_string(shards),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        kRepeats);
+    if (serial_model.ok() &&
+        (std::memcmp(reduced.weights().data(), serial_model->weights().data(),
+                     kDim * sizeof(float)) != 0 ||
+         std::bit_cast<std::uint32_t>(reduced.bias()) !=
+             std::bit_cast<std::uint32_t>(serial_model->bias()))) {
+      std::fprintf(stderr,
+                   "BIT MISMATCH: shard_reduce_%zu != serial aggregate\n",
+                   shards);
+      identical = false;
+    }
+  }
+  std::fprintf(stderr, "fedavg kernel bit-identity: %s\n",
+               identical ? "OK" : "FAILED");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +410,7 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   EmitAucRankOpTimings();
+  const bool kernels_identical = EmitFedAvgKernelOpTimings();
   simdc::bench::EmitOpTimings();
-  return 0;
+  return kernels_identical ? 0 : 1;
 }

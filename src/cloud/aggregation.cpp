@@ -1,10 +1,25 @@
 #include "cloud/aggregation.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace simdc::cloud {
+
+namespace {
+
+/// Wall-clock profiling stamps (steady, monotonic). These feed the OPTIME
+/// accumulate/bookkeeping split only — never any deterministic surface.
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 AggregationService::AggregationService(sim::EventLoop& loop,
                                        BlobStore& storage,
@@ -44,7 +59,7 @@ void AggregationService::OnDeadline() {
   if (stopped_) return;
   if (history_.size() != deadline_round_) return;  // round closed on time
   const SimTime now = loop_.Now();
-  if (aggregator_.clients() >= config_.round_quorum) {
+  if (pending_clients() >= config_.round_quorum) {
     // Quorum met: commit with what arrived — a degraded round, counted
     // before the aggregate so the on_aggregate callback (which may read
     // the counter to book degradation metrics) sees it.
@@ -65,6 +80,7 @@ void AggregationService::OnDeadline() {
   // discarded (those updates trained against a model this round will never
   // publish) and the driver advances via the abort callback.
   ++aborted_rounds_;
+  DiscardPending();
   aggregator_.Reset();
   if (on_round_aborted_) on_round_aborted_(now);
 }
@@ -88,17 +104,27 @@ void AggregationService::DeliverBatch(std::span<const flow::Message> messages,
                                       std::span<const SimTime> arrivals) {
   // One virtual call per dispatch tick; messages accumulate in wire order
   // with their own arrival stamps, exactly as the per-message path would.
+  const std::uint64_t t0 = NowNs();
+  const std::uint64_t accumulate0 = serial_accumulate_ns_;
   for (std::size_t i = 0; i < messages.size(); ++i) {
     DeliverOne(messages[i], arrivals[i]);
   }
+  const std::uint64_t total = NowNs() - t0;
+  const std::uint64_t accumulate = serial_accumulate_ns_ - accumulate0;
+  serial_bookkeeping_ns_ += total > accumulate ? total - accumulate : 0;
 }
 
 void AggregationService::DeliverDecodedBatch(
     std::span<const flow::DecodedUpdate> updates,
     std::span<const SimTime> arrivals) {
+  const std::uint64_t t0 = NowNs();
+  const std::uint64_t accumulate0 = serial_accumulate_ns_;
   for (std::size_t i = 0; i < updates.size(); ++i) {
     DeliverDecodedOne(updates[i], arrivals[i]);
   }
+  const std::uint64_t total = NowNs() - t0;
+  const std::uint64_t accumulate = serial_accumulate_ns_ - accumulate0;
+  serial_bookkeeping_ns_ += total > accumulate ? total - accumulate : 0;
 }
 
 void AggregationService::DeliverOne(const flow::Message& message,
@@ -175,7 +201,11 @@ void AggregationService::DeliverDecodedOne(const flow::DecodedUpdate& update,
     }
     return;
   }
-  Accumulate(*update.model, update.message, arrival);
+  if (config_.aggregate_plane == AggregatePlane::kPartialSum) {
+    AccumulateDecoded(update, arrival);
+  } else {
+    Accumulate(*update.model, update.message, arrival);
+  }
 }
 
 void AggregationService::Accumulate(const ml::LrModel& model,
@@ -183,7 +213,9 @@ void AggregationService::Accumulate(const ml::LrModel& model,
                                     SimTime arrival) {
   const std::size_t samples =
       message.sample_count > 0 ? message.sample_count : 1;
+  const std::uint64_t t0 = NowNs();
   const Status added = aggregator_.Add(model, samples);
+  serial_accumulate_ns_ += NowNs() - t0;
   if (!added.ok()) {
     // Dimension mismatch — the decode "succeeded" but the model is
     // unusable; both planes book it as a decode failure here.
@@ -201,6 +233,83 @@ void AggregationService::Accumulate(const ml::LrModel& model,
   }
 }
 
+void AggregationService::AccumulateDecoded(const flow::DecodedUpdate& update,
+                                           SimTime arrival) {
+  const std::size_t samples =
+      update.message.sample_count > 0 ? update.message.sample_count : 1;
+  // The legacy plane's Add rejects dimension mismatches and books them as
+  // decode failures at this point in the delivery order; hoisting the
+  // check to admission keeps the counter sequence identical while the
+  // O(dim) work is deferred. (Zero samples cannot reach Add: the floor
+  // above is 1.)
+  if (update.model->dim() != config_.model_dim) {
+    ++decode_failures_;
+    return;
+  }
+  pending_.push_back({update.model, samples});
+  staged_samples_ += samples;
+  ++staged_clients_;
+
+  if (config_.trigger == AggregationTrigger::kSampleThreshold &&
+      pending_samples() >= config_.sample_threshold) {
+    // Same trigger point as the legacy plane — the round closes on the
+    // crossing message, mid-batch if need be, so later messages in the
+    // tick see the advanced round for their staleness verdicts.
+    AggregateAt(std::max(arrival, loop_.Now()));
+    return;
+  }
+  if (pending_.size() >= kFlushCap) FlushPending();
+}
+
+void AggregationService::FlushPending() {
+  if (pending_.empty()) return;
+  const std::uint64_t t0 = NowNs();
+  const std::size_t lanes =
+      pool_ ? std::min({pool_->size(), pending_.size(), kMaxLanes})
+            : std::size_t{1};
+  if (lanes <= 1) {
+    for (const StagedUpdate& staged : pending_) {
+      // Dim was checked at admission and samples >= 1, so Add cannot fail.
+      const Status added = aggregator_.Add(*staged.model, staged.samples);
+      SIMDC_CHECK(added.ok(), "FlushPending: staged add failed: "
+                                  << added.error().ToString());
+    }
+  } else {
+    while (partials_.size() < lanes) {
+      partials_.emplace_back(config_.model_dim);
+    }
+    const std::size_t chunk = (pending_.size() + lanes - 1) / lanes;
+    pool_->ParallelFor(lanes, [&](std::size_t lane) {
+      const std::size_t begin = lane * chunk;
+      const std::size_t end = std::min(begin + chunk, pending_.size());
+      ml::FedAvgAggregator& partial = partials_[lane];
+      for (std::size_t i = begin; i < end; ++i) {
+        const Status added =
+            partial.Add(*pending_[i].model, pending_[i].samples);
+        SIMDC_CHECK(added.ok(), "FlushPending: partial add failed: "
+                                    << added.error().ToString());
+      }
+    });
+    // Fixed ascending-lane reduction. The cascade is order-invariant, so
+    // this order is a convention, not a correctness requirement — but a
+    // fixed order keeps the internal cascade bits deterministic run-to-run.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      aggregator_.MergeFrom(partials_[lane]);
+      partials_[lane].Reset();
+    }
+  }
+  pending_.clear();
+  staged_samples_ = 0;
+  staged_clients_ = 0;
+  serial_accumulate_ns_ += NowNs() - t0;
+}
+
+void AggregationService::DiscardPending() {
+  pending_.clear();
+  staged_samples_ = 0;
+  staged_clients_ = 0;
+}
+
 AggregationSnapshot AggregationService::Snapshot() const {
   AggregationSnapshot s;
   s.history = history_;
@@ -215,11 +324,28 @@ AggregationSnapshot AggregationService::Snapshot() const {
   s.global_weights.assign(global_model_.weights().begin(),
                           global_model_.weights().end());
   s.global_bias = global_model_.bias();
-  s.accumulator.assign(aggregator_.accumulator().begin(),
-                       aggregator_.accumulator().end());
-  s.bias_accumulator = aggregator_.bias_accumulator();
-  s.accumulator_samples = aggregator_.total_samples();
-  s.accumulator_clients = aggregator_.clients();
+  // Canonical accumulator view: staged-but-unflushed updates (partial-sum
+  // plane) are folded serially into a copy, so the snapshot is a total
+  // function of the service on either plane and never references payload
+  // models. At quiescent boundaries (where checkpoints are cut) pending_
+  // is empty and this is a plain copy.
+  ml::FedAvgAggregator merged = aggregator_;
+  for (const StagedUpdate& staged : pending_) {
+    const Status added = merged.Add(*staged.model, staged.samples);
+    SIMDC_CHECK(added.ok(), "Snapshot: staged add failed: "
+                                << added.error().ToString());
+  }
+  s.accumulator.assign(merged.accumulator().begin(),
+                       merged.accumulator().end());
+  s.accumulator_c1.assign(merged.compensation1().begin(),
+                          merged.compensation1().end());
+  s.accumulator_c2.assign(merged.compensation2().begin(),
+                          merged.compensation2().end());
+  s.bias_accumulator = merged.bias_accumulator();
+  s.bias_accumulator_c1 = merged.bias_compensation1();
+  s.bias_accumulator_c2 = merged.bias_compensation2();
+  s.accumulator_samples = merged.total_samples();
+  s.accumulator_clients = merged.clients();
   return s;
 }
 
@@ -240,16 +366,24 @@ void AggregationService::RestoreSnapshot(const AggregationSnapshot& snapshot) {
             model.weights().begin());
   model.bias() = snapshot.global_bias;
   global_model_ = std::move(model);
-  aggregator_.Restore(snapshot.accumulator, snapshot.bias_accumulator,
+  // The snapshot already holds the canonical merged accumulator (staged
+  // entries folded in at Snapshot time), so recovery starts with nothing
+  // staged.
+  DiscardPending();
+  aggregator_.Restore(snapshot.accumulator, snapshot.accumulator_c1,
+                      snapshot.accumulator_c2, snapshot.bias_accumulator,
+                      snapshot.bias_accumulator_c1,
+                      snapshot.bias_accumulator_c2,
                       static_cast<std::size_t>(snapshot.accumulator_samples),
                       static_cast<std::size_t>(snapshot.accumulator_clients));
 }
 
 bool AggregationService::AggregateAt(SimTime when) {
-  if (aggregator_.clients() == 0) return false;
+  if (pending_clients() == 0) return false;
   if (config_.max_rounds != 0 && history_.size() >= config_.max_rounds) {
     return false;
   }
+  FlushPending();
   auto model = aggregator_.Aggregate();
   if (!model.ok()) return false;
 

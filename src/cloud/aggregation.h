@@ -14,10 +14,24 @@
 // decode happened upstream, in parallel, and this serial side is only the
 // staleness verdict, counter bookkeeping and the O(dim) fixed-order
 // accumulate; on the legacy plane it fetches + decodes inline.
+//
+// Aggregate plane. On AggregatePlane::kPartialSum (the default) the
+// decoded-plane O(dim) accumulate itself leaves the serial handler: each
+// admitted update is staged as a {shared model, samples} entry in O(1),
+// and staged entries are flushed into per-lane partial FedAvg aggregators
+// on the worker pool, merged in fixed ascending-lane order. Per round the
+// serial side does O(lanes·dim) merge work instead of O(msgs·dim) adds.
+// The FedAvg cascade is order-invariant (see ml/fedavg.h), so lane count,
+// flush timing and slicing are bit-invisible in every published model,
+// counter and snapshot — kLegacy reproduces the pre-plane serial adds
+// unchanged and is pinned by parity tests. Like the decode offload, the
+// knob rides the decoded delivery path only: legacy-decode deliveries
+// accumulate inline on either setting.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,7 +42,25 @@
 #include "ml/lr_model.h"
 #include "sim/event_loop.h"
 
+namespace simdc {
+class ThreadPool;
+}  // namespace simdc
+
 namespace simdc::cloud {
+
+/// Which aggregation plane the decoded delivery path runs
+/// (core::FlExperimentConfig::aggregate_plane; spec: [execution]
+/// aggregate_plane).
+enum class AggregatePlane {
+  /// Admitted updates are staged in O(1) and accumulated into per-lane
+  /// partial aggregators on the worker pool; the serial side merges
+  /// O(lanes·dim) in fixed ascending-lane order. Bit-identical to kLegacy
+  /// (order-invariant cascade, see ml/fedavg.h).
+  kPartialSum,
+  /// Every admitted update runs its O(dim) FedAvgAggregator::Add inline in
+  /// the serial delivery handler. Kept as the reference for parity tests.
+  kLegacy,
+};
 
 enum class AggregationTrigger {
   /// Aggregate when accumulated training samples reach a threshold.
@@ -64,6 +96,9 @@ struct AggregationConfig {
   /// Per-extension grace (0 = reuse round_deadline).
   SimDuration round_extension = 0;
   std::size_t max_round_extensions = 1;
+  /// Aggregation plane for decoded deliveries (see the file comment).
+  /// Inert on the legacy decode path, which always accumulates inline.
+  AggregatePlane aggregate_plane = AggregatePlane::kPartialSum;
 };
 
 /// One completed aggregation.
@@ -95,7 +130,13 @@ struct AggregationSnapshot {
   std::vector<float> global_weights;
   float global_bias = 0.0f;
   std::vector<double> accumulator;
+  /// Compensation planes of the order-invariant cascade (ml/fedavg.h);
+  /// carried bit-exactly so recovery resumes the same represented sum.
+  std::vector<double> accumulator_c1;
+  std::vector<double> accumulator_c2;
   double bias_accumulator = 0.0;
+  double bias_accumulator_c1 = 0.0;
+  double bias_accumulator_c2 = 0.0;
   std::uint64_t accumulator_samples = 0;
   std::uint64_t accumulator_clients = 0;
 };
@@ -104,6 +145,13 @@ class AggregationService final : public flow::CloudEndpoint {
  public:
   AggregationService(sim::EventLoop& loop, BlobStore& storage,
                      AggregationConfig config);
+
+  /// Worker pool for the partial-sum plane's parallel flush. Optional: with
+  /// no pool (or a 1-thread pool) the flush accumulates serially, which is
+  /// bit-identical (order-invariant cascade). The pool must outlive the
+  /// service; flushes run only while the pool is otherwise idle (dispatch
+  /// handlers run on the serial side, after any lockstep barrier).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Arms the scheduled trigger (no-op for sample-threshold).
   void Start();
@@ -149,8 +197,15 @@ class AggregationService final : public flow::CloudEndpoint {
   /// decode_failures, so existing accounting is unchanged when no store
   /// faults occur.
   std::size_t store_errors() const { return store_errors_; }
-  std::size_t pending_samples() const { return aggregator_.total_samples(); }
-  std::size_t pending_clients() const { return aggregator_.clients(); }
+  /// Samples/clients admitted to the open round: the aggregator's totals
+  /// plus entries staged but not yet flushed (partial-sum plane). Matches
+  /// the legacy plane's aggregator totals update-for-update.
+  std::size_t pending_samples() const {
+    return aggregator_.total_samples() + staged_samples_;
+  }
+  std::size_t pending_clients() const {
+    return aggregator_.clients() + staged_clients_;
+  }
   /// Degraded rounds committed at their deadline with quorum met.
   std::size_t deadline_commits() const { return deadline_commits_; }
   /// Deadline extensions granted to quorum-short rounds.
@@ -158,6 +213,14 @@ class AggregationService final : public flow::CloudEndpoint {
   /// Rounds aborted after exhausting extensions below quorum (their
   /// partial updates were discarded).
   std::size_t aborted_rounds() const { return aborted_rounds_; }
+
+  /// Profiling (wall-clock, NOT part of any bit-identity surface): time
+  /// spent in the O(dim) accumulate — inline Adds on the legacy plane,
+  /// flush (lane accumulate + ascending merge) on the partial-sum plane.
+  std::uint64_t serial_accumulate_ns() const { return serial_accumulate_ns_; }
+  /// Batched-delivery handler time minus the accumulate share: admission,
+  /// staleness verdicts, counter commits, staging.
+  std::uint64_t serial_bookkeeping_ns() const { return serial_bookkeeping_ns_; }
 
   /// Bit-exact state image for checkpointing (see AggregationSnapshot).
   AggregationSnapshot Snapshot() const;
@@ -201,9 +264,30 @@ class AggregationService final : public flow::CloudEndpoint {
   /// sample-threshold trigger.
   void Accumulate(const ml::LrModel& model, const flow::Message& message,
                   SimTime arrival);
+  /// Partial-sum plane tail: O(1) admission + staging, threshold check on
+  /// the combined (flushed + staged) totals, capacity-bounded flush.
+  void AccumulateDecoded(const flow::DecodedUpdate& update, SimTime arrival);
+  /// Drains staged entries into the aggregator: serially without a pool,
+  /// else via per-lane partials on the pool merged in ascending-lane order.
+  /// Bit-invisible either way (order-invariant cascade).
+  void FlushPending();
+  /// Drops staged entries (round abort / snapshot restore).
+  void DiscardPending();
   /// Aggregates with an explicit round timestamp (`when` is recorded as
   /// AggregationRecord::time).
   bool AggregateAt(SimTime when);
+
+  /// One admitted-but-unflushed update on the partial-sum plane.
+  struct StagedUpdate {
+    std::shared_ptr<const ml::LrModel> model;
+    std::size_t samples = 0;
+  };
+  /// Flush whenever this many entries are staged: bounds shared-payload
+  /// retention and keeps flush slices cache-sized, without changing any
+  /// published bit (flush timing is inside the invariance window).
+  static constexpr std::size_t kFlushCap = 256;
+  /// Partial-aggregator lane ceiling for one flush.
+  static constexpr std::size_t kMaxLanes = 8;
 
   sim::EventLoop& loop_;
   BlobStore& storage_;
@@ -226,6 +310,17 @@ class AggregationService final : public flow::CloudEndpoint {
   std::size_t deadline_commits_ = 0;
   std::size_t round_extensions_ = 0;
   std::size_t aborted_rounds_ = 0;
+  /// Partial-sum plane state: staged updates awaiting a flush, their
+  /// running totals (mirroring what the legacy plane's aggregator would
+  /// hold), the reusable per-lane partial aggregators, and the pool.
+  std::vector<StagedUpdate> pending_;
+  std::size_t staged_samples_ = 0;
+  std::size_t staged_clients_ = 0;
+  std::vector<ml::FedAvgAggregator> partials_;
+  ThreadPool* pool_ = nullptr;
+  /// Wall-clock profiling totals (see the accessors).
+  std::uint64_t serial_accumulate_ns_ = 0;
+  std::uint64_t serial_bookkeeping_ns_ = 0;
   bool stopped_ = false;
 };
 

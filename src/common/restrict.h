@@ -1,0 +1,12 @@
+// SIMDC_RESTRICT: the no-aliasing qualifier for hot kernel pointers.
+//
+// Restrict-qualified contiguous loops are what lets the compiler vectorize
+// the FedAvg cascade and the SGD update kernels without emitting runtime
+// overlap checks; the macro spells the compiler-specific keyword.
+#pragma once
+
+#if defined(_MSC_VER) && !defined(__clang__)
+#define SIMDC_RESTRICT __restrict
+#else
+#define SIMDC_RESTRICT __restrict__
+#endif

@@ -327,6 +327,21 @@ Result<ExecutionConfig> LoadExecution(const IniDocument& doc) {
   } else if (has_section && plane.error().code() != ErrorCode::kNotFound) {
     return plane.error();
   }
+  if (auto agg_plane = GetString(doc, "execution", "aggregate_plane");
+      agg_plane.ok()) {
+    if (*agg_plane == "partial_sum") {
+      config.aggregate_plane = cloud::AggregatePlane::kPartialSum;
+    } else if (*agg_plane == "legacy") {
+      config.aggregate_plane = cloud::AggregatePlane::kLegacy;
+    } else {
+      return InvalidArgument(
+          "[execution] aggregate_plane must be 'partial_sum' or 'legacy', "
+          "got '" +
+          *agg_plane + "'");
+    }
+  } else if (has_section && agg_plane.error().code() != ErrorCode::kNotFound) {
+    return agg_plane.error();
+  }
   if (auto codec = GetString(doc, "execution", "payload_codec"); codec.ok()) {
     const std::string name = Lower(*codec);
     if (name == "fp32") {

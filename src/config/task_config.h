@@ -111,6 +111,13 @@ struct ExecutionConfig {
   /// reference). Bit-identical results either way
   /// (FlExperimentConfig::decode_plane semantics).
   flow::DecodePlane decode_plane = flow::DecodePlane::kDecoded;
+  /// Aggregation plane of the decoded delivery path: partial_sum (default
+  /// — admitted updates accumulate into per-lane partial FedAvg
+  /// aggregators on the worker pool, merged in fixed ascending order) or
+  /// legacy (every O(dim) add runs inline in the serial handler; the
+  /// parity-test reference). Bit-identical results either way
+  /// (FlExperimentConfig::aggregate_plane semantics).
+  cloud::AggregatePlane aggregate_plane = cloud::AggregatePlane::kPartialSum;
   /// Wire precision for device→cloud update payloads: fp32 (default —
   /// bit-identical to the historical format), fp16 (~2× smaller), or int8
   /// (per-tensor scale, ~4× smaller). Quantized payloads trade a bounded
@@ -142,7 +149,8 @@ struct ExecutionConfig {
 };
 
 /// Reads [execution] (parallelism = N, shards = N,
-/// decode_plane = decoded|legacy, payload_codec = fp32|fp16|int8,
+/// decode_plane = decoded|legacy, aggregate_plane = partial_sum|legacy,
+/// payload_codec = fp32|fp16|int8,
 /// reclaim_payload_blobs = 0|1, durability = off|log|log+checkpoint,
 /// durability_dir = path, round_quorum = N, round_deadline_s = S,
 /// round_extension_s = S, max_round_extensions = N). A missing section or

@@ -4,6 +4,69 @@
 
 namespace simdc::ml {
 
+namespace kernels {
+namespace {
+
+/// Branch-free Knuth TwoSum: s = fl(a + b), err the exact residual so
+/// that a + b == s + err. No magnitude precondition, no branches — one
+/// straight-line dependency chain per lane, so the surrounding loops
+/// vectorize.
+inline void TwoSum(double a, double b, double& s, double& err) {
+  s = a + b;
+  const double bb = s - a;
+  err = (a - (s - bb)) + (b - bb);
+}
+
+/// One cascade step shared by every kernel: folds term `t` into the
+/// (sum, c1, c2) triple. Two error-free TwoSums; only the final c2 += e2
+/// rounds, which is what bounds the order sensitivity (see fedavg.h).
+inline void CascadeStep(double t, double& sum, double& c1, double& c2) {
+  double s, e1;
+  TwoSum(sum, t, s, e1);
+  sum = s;
+  double s2, e2;
+  TwoSum(c1, e1, s2, e2);
+  c1 = s2;
+  c2 += e2;
+}
+
+}  // namespace
+
+void CascadeAddScalar(std::span<const float> weights, double scale,
+                      std::span<double> sum, std::span<double> c1,
+                      std::span<double> c2) {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    CascadeStep(scale * static_cast<double>(weights[i]), sum[i], c1[i],
+                c2[i]);
+  }
+}
+
+void CascadeAdd(const float* SIMDC_RESTRICT weights, std::size_t n,
+                double scale, double* SIMDC_RESTRICT sum,
+                double* SIMDC_RESTRICT c1, double* SIMDC_RESTRICT c2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    CascadeStep(scale * static_cast<double>(weights[i]), sum[i], c1[i],
+                c2[i]);
+  }
+}
+
+void CascadeMerge(const double* SIMDC_RESTRICT other_sum,
+                  const double* SIMDC_RESTRICT other_c1,
+                  const double* SIMDC_RESTRICT other_c2, std::size_t n,
+                  double* SIMDC_RESTRICT sum, double* SIMDC_RESTRICT c1,
+                  double* SIMDC_RESTRICT c2) {
+  // Each of the other cascade's terms is itself a partial-sum term inside
+  // the invariance window, so folding the three through the same cascade
+  // keeps the merged value within the window of the flat serial sum.
+  for (std::size_t i = 0; i < n; ++i) {
+    CascadeStep(other_sum[i], sum[i], c1[i], c2[i]);
+    CascadeStep(other_c1[i], sum[i], c1[i], c2[i]);
+    CascadeStep(other_c2[i], sum[i], c1[i], c2[i]);
+  }
+}
+
+}  // namespace kernels
+
 Status FedAvgAggregator::Add(const LrModel& model, std::size_t sample_count) {
   if (model.dim() != dim()) {
     return InvalidArgument("FedAvg: model dim " + std::to_string(model.dim()) +
@@ -14,13 +77,32 @@ Status FedAvgAggregator::Add(const LrModel& model, std::size_t sample_count) {
   }
   const auto w = static_cast<double>(sample_count);
   const auto weights = model.weights();
-  for (std::size_t i = 0; i < accumulator_.size(); ++i) {
-    accumulator_[i] += w * static_cast<double>(weights[i]);
-  }
-  bias_accumulator_ += w * static_cast<double>(model.bias());
+  kernels::CascadeAdd(weights.data(), accumulator_.size(), w,
+                      accumulator_.data(), compensation1_.data(),
+                      compensation2_.data());
+  kernels::CascadeStep(w * static_cast<double>(model.bias()),
+                       bias_accumulator_, bias_compensation1_,
+                       bias_compensation2_);
   total_samples_ += sample_count;
   ++clients_;
   return Status::Ok();
+}
+
+void FedAvgAggregator::MergeFrom(const FedAvgAggregator& other) {
+  SIMDC_CHECK(other.dim() == dim(),
+              "FedAvgAggregator::MergeFrom: dimension mismatch");
+  kernels::CascadeMerge(other.accumulator_.data(), other.compensation1_.data(),
+                        other.compensation2_.data(), accumulator_.size(),
+                        accumulator_.data(), compensation1_.data(),
+                        compensation2_.data());
+  kernels::CascadeStep(other.bias_accumulator_, bias_accumulator_,
+                       bias_compensation1_, bias_compensation2_);
+  kernels::CascadeStep(other.bias_compensation1_, bias_accumulator_,
+                       bias_compensation1_, bias_compensation2_);
+  kernels::CascadeStep(other.bias_compensation2_, bias_accumulator_,
+                       bias_compensation1_, bias_compensation2_);
+  total_samples_ += other.total_samples_;
+  clients_ += other.clients_;
 }
 
 Result<LrModel> FedAvgAggregator::Aggregate() const {
@@ -30,16 +112,28 @@ Result<LrModel> FedAvgAggregator::Aggregate() const {
   LrModel model(dim());
   const auto total = static_cast<double>(total_samples_);
   auto weights = model.weights();
+  const double* SIMDC_RESTRICT sum = accumulator_.data();
+  const double* SIMDC_RESTRICT c1 = compensation1_.data();
+  const double* SIMDC_RESTRICT c2 = compensation2_.data();
+  float* SIMDC_RESTRICT out = weights.data();
   for (std::size_t i = 0; i < accumulator_.size(); ++i) {
-    weights[i] = static_cast<float>(accumulator_[i] / total);
+    out[i] =
+        static_cast<float>(kernels::CascadeValue(sum[i], c1[i], c2[i]) / total);
   }
-  model.bias() = static_cast<float>(bias_accumulator_ / total);
+  model.bias() = static_cast<float>(
+      kernels::CascadeValue(bias_accumulator_, bias_compensation1_,
+                            bias_compensation2_) /
+      total);
   return model;
 }
 
 void FedAvgAggregator::Reset() {
   std::fill(accumulator_.begin(), accumulator_.end(), 0.0);
+  std::fill(compensation1_.begin(), compensation1_.end(), 0.0);
+  std::fill(compensation2_.begin(), compensation2_.end(), 0.0);
   bias_accumulator_ = 0.0;
+  bias_compensation1_ = 0.0;
+  bias_compensation2_ = 0.0;
   total_samples_ = 0;
   clients_ = 0;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/restrict.h"
 #include "common/rng.h"
 
 namespace simdc::ml {
@@ -28,13 +29,16 @@ void ServerLrOperator::Train(LrModel& model,
   // Hoisted out of the example loop: raw weight pointer (span indexing per
   // feature adds up over epochs × examples × features) and the bias, which
   // the update writes every example. The bias stays a float between
-  // examples, exactly as when it round-tripped through the model.
-  float* const weights = model.weights().data();
+  // examples, exactly as when it round-tripped through the model. The
+  // weight array never aliases the example features, so restrict lets the
+  // gather/update loops vectorize without runtime overlap checks.
+  float* SIMDC_RESTRICT const weights = model.weights().data();
   const std::size_t weight_dim = model.weights().size();
   (void)weight_dim;  // referenced only by the debug-build bounds check
   float bias = model.bias();
   const double learning_rate = config.learning_rate;
-  std::vector<std::size_t> order(examples.size());
+  order_scratch_.resize(examples.size());
+  std::vector<std::size_t>& order = order_scratch_;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     FillEpochOrder(order, config.shuffle, rng);
     for (const std::size_t i : order) {
@@ -68,14 +72,15 @@ void MobileLrOperator::Train(LrModel& model,
   // (not float rounding) is the dominant source of the small cross-venue
   // divergence Fig. 6 quantifies.
   Rng rng(SplitMix64(config.shuffle_seed ^ 0x4D4F42494C45ULL));
-  float* const weights = model.weights().data();
+  float* SIMDC_RESTRICT const weights = model.weights().data();
   const std::size_t weight_dim = model.weights().size();
   (void)weight_dim;  // referenced only by the debug-build bounds check
   float bias = model.bias();
   // The double→float learning-rate conversion happened once per example;
   // it is loop-invariant, so do it once per call.
   const float learning_rate = static_cast<float>(config.learning_rate);
-  std::vector<std::size_t> order(examples.size());
+  order_scratch_.resize(examples.size());
+  std::vector<std::size_t>& order = order_scratch_;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     FillEpochOrder(order, config.shuffle, rng);
     for (const std::size_t i : order) {

@@ -11,9 +11,12 @@ namespace {
 constexpr std::uint32_t kMagic = 0x50434453u;  // "SDCP" little-endian
 // v2: fault-plane counters (dispatch retries/retry_successes/
 // deadline_drops/churn_losses, aggregation deadline_commits/
-// round_extensions/aborted_rounds). Pre-v2 images are rejected — a crashed
-// old-format run recovers with its old binary, not this one.
-constexpr std::uint32_t kVersion = 2;
+// round_extensions/aborted_rounds). v3: the FedAvg cascade's two
+// compensation planes (vector + bias), carried bit-exactly so recovery
+// resumes the same represented accumulator sum (ml/fedavg.h). Pre-v3
+// images are rejected — a crashed old-format run recovers with its old
+// binary, not this one.
+constexpr std::uint32_t kVersion = 3;
 
 void PutAggregation(ByteWriter& w, const cloud::AggregationSnapshot& a) {
   w.Put<std::uint64_t>(a.history.size());
@@ -37,7 +40,13 @@ void PutAggregation(ByteWriter& w, const cloud::AggregationSnapshot& a) {
   w.Put<float>(a.global_bias);
   w.Put<std::uint64_t>(a.accumulator.size());
   for (const double v : a.accumulator) w.Put<double>(v);
+  // v3: the compensation planes share the accumulator's length, so no
+  // separate size prefixes.
+  for (const double v : a.accumulator_c1) w.Put<double>(v);
+  for (const double v : a.accumulator_c2) w.Put<double>(v);
   w.Put<double>(a.bias_accumulator);
+  w.Put<double>(a.bias_accumulator_c1);
+  w.Put<double>(a.bias_accumulator_c2);
   w.Put<std::uint64_t>(a.accumulator_samples);
   w.Put<std::uint64_t>(a.accumulator_clients);
 }
@@ -71,7 +80,15 @@ cloud::AggregationSnapshot GetAggregation(ByteReader& r) {
   for (std::uint64_t i = 0; r.ok() && i < acc; ++i) {
     a.accumulator.push_back(r.Get<double>());
   }
+  for (std::uint64_t i = 0; r.ok() && i < acc; ++i) {
+    a.accumulator_c1.push_back(r.Get<double>());
+  }
+  for (std::uint64_t i = 0; r.ok() && i < acc; ++i) {
+    a.accumulator_c2.push_back(r.Get<double>());
+  }
   a.bias_accumulator = r.Get<double>();
+  a.bias_accumulator_c1 = r.Get<double>();
+  a.bias_accumulator_c2 = r.Get<double>();
   a.accumulator_samples = r.Get<std::uint64_t>();
   a.accumulator_clients = r.Get<std::uint64_t>();
   return a;

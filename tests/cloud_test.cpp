@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <thread>
 
 #include "cloud/aggregation.h"
+#include "common/thread_pool.h"
 #include "cloud/database.h"
 #include "cloud/payload_decoder.h"
 #include "cloud/storage.h"
@@ -806,6 +808,270 @@ TEST_F(AggregationTest, MaxRoundsHonored) {
     service.Deliver(Upload(store_, 1.0f, 1, i), 0);
   }
   EXPECT_EQ(service.rounds_completed(), 2u);
+}
+
+// ---------- Partial-sum aggregation plane ----------
+
+/// Parity suite for AggregatePlane::kPartialSum vs kLegacy on the decoded
+/// delivery path: every counter, round record, published-model bit and
+/// snapshot plane must match. Pinned by name in the CI sanitizer job.
+class AggregationPartialSumTest : public AggregationTest {
+ protected:
+  struct Outcome {
+    std::size_t received = 0;
+    std::size_t decode_failures = 0;
+    std::size_t stale_rejections = 0;
+    std::size_t store_errors = 0;
+    std::vector<AggregationRecord> history;
+    std::vector<float> weights;
+    float bias = 0.0f;
+    std::size_t pending_samples = 0;
+    std::size_t pending_clients = 0;
+    AggregationSnapshot snapshot;
+  };
+
+  static void DeliverDecoded(AggregationService& service, BlobStore& store,
+                             const std::vector<flow::Message>& messages,
+                             const std::vector<SimTime>& arrivals) {
+    BlobModelDecoder decoder(store);
+    std::vector<flow::DecodedUpdate> updates;
+    updates.reserve(messages.size());
+    for (const auto& message : messages) {
+      updates.push_back(decoder.Decode(message));
+    }
+    service.DeliverDecodedBatch(updates, arrivals);
+  }
+
+  Outcome Run(BlobStore& store, const std::vector<flow::Message>& messages,
+              const std::vector<SimTime>& arrivals, AggregatePlane plane,
+              ThreadPool* pool, std::size_t sample_threshold,
+              bool reject_stale = false) {
+    AggregationConfig config;
+    config.model_dim = kDim;
+    config.trigger = AggregationTrigger::kSampleThreshold;
+    config.sample_threshold = sample_threshold;
+    config.reject_stale = reject_stale;
+    config.aggregate_plane = plane;
+    AggregationService service(loop_, store, config);
+    service.set_thread_pool(pool);
+    DeliverDecoded(service, store, messages, arrivals);
+    return Capture(service);
+  }
+
+  static Outcome Capture(const AggregationService& service) {
+    Outcome out;
+    out.received = service.messages_received();
+    out.decode_failures = service.decode_failures();
+    out.stale_rejections = service.stale_rejections();
+    out.store_errors = service.store_errors();
+    out.history = service.history();
+    out.weights.assign(service.global_model().weights().begin(),
+                       service.global_model().weights().end());
+    out.bias = service.global_model().bias();
+    out.pending_samples = service.pending_samples();
+    out.pending_clients = service.pending_clients();
+    out.snapshot = service.Snapshot();
+    return out;
+  }
+
+  static void ExpectIdentical(const Outcome& a, const Outcome& b) {
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.decode_failures, b.decode_failures);
+    EXPECT_EQ(a.stale_rejections, b.stale_rejections);
+    EXPECT_EQ(a.store_errors, b.store_errors);
+    EXPECT_EQ(a.pending_samples, b.pending_samples);
+    EXPECT_EQ(a.pending_clients, b.pending_clients);
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t r = 0; r < a.history.size(); ++r) {
+      EXPECT_EQ(a.history[r].time, b.history[r].time);
+      EXPECT_EQ(a.history[r].clients, b.history[r].clients);
+      EXPECT_EQ(a.history[r].samples, b.history[r].samples);
+    }
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    EXPECT_EQ(0, std::memcmp(a.weights.data(), b.weights.data(),
+                             a.weights.size() * sizeof(float)));
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(a.bias),
+              std::bit_cast<std::uint32_t>(b.bias));
+    // Snapshot parity covers the cascade planes bit-for-bit.
+    EXPECT_EQ(a.snapshot.accumulator, b.snapshot.accumulator);
+    EXPECT_EQ(a.snapshot.accumulator_c1, b.snapshot.accumulator_c1);
+    EXPECT_EQ(a.snapshot.accumulator_c2, b.snapshot.accumulator_c2);
+    EXPECT_EQ(a.snapshot.bias_accumulator, b.snapshot.bias_accumulator);
+    EXPECT_EQ(a.snapshot.bias_accumulator_c1, b.snapshot.bias_accumulator_c1);
+    EXPECT_EQ(a.snapshot.bias_accumulator_c2, b.snapshot.bias_accumulator_c2);
+    EXPECT_EQ(a.snapshot.accumulator_samples, b.snapshot.accumulator_samples);
+    EXPECT_EQ(a.snapshot.accumulator_clients, b.snapshot.accumulator_clients);
+  }
+
+  /// Mixed stream: valid updates with varying magnitudes, a corrupt blob,
+  /// a missing blob, a wrong-dimension model, threshold crossings.
+  void BuildAdversarialStream(BlobStore& store, std::size_t valid_count,
+                              std::vector<flow::Message>& messages,
+                              std::vector<SimTime>& arrivals) {
+    std::uint64_t id = 1;
+    auto push = [&](flow::Message m) {
+      arrivals.push_back(Seconds(static_cast<double>(id)));
+      messages.push_back(std::move(m));
+      ++id;
+    };
+    for (std::size_t k = 0; k < valid_count; ++k) {
+      const float w = static_cast<float>((k % 17) * 1000.0 - 8000.0) +
+                      static_cast<float>(k) * 1e-4f;
+      push(Upload(store, w, 1 + k % 7, id));
+      if (k == valid_count / 3) {
+        flow::Message corrupt;
+        corrupt.id = MessageId(id);
+        corrupt.task = TaskId(1);
+        corrupt.payload = store.Put(Bytes({1, 2, 3}));
+        corrupt.sample_count = 4;
+        push(corrupt);
+      }
+      if (k == valid_count / 2) {
+        flow::Message missing;
+        missing.id = MessageId(id);
+        missing.task = TaskId(1);
+        missing.payload = BlobId(424242);
+        missing.sample_count = 4;
+        push(missing);
+        ml::LrModel wrong(kDim * 2);
+        flow::Message mismatch;
+        mismatch.id = MessageId(id + 1);
+        mismatch.task = TaskId(1);
+        mismatch.payload = store.Put(wrong.ToBytes());
+        mismatch.sample_count = 4;
+        push(mismatch);
+      }
+    }
+  }
+};
+
+TEST_F(AggregationPartialSumTest, MatchesLegacyPlaneAcrossFailuresAndRounds) {
+  BlobStore store;
+  std::vector<flow::Message> messages;
+  std::vector<SimTime> arrivals;
+  BuildAdversarialStream(store, 60, messages, arrivals);
+  // Threshold 40 closes several rounds mid-batch; the tail stays pending.
+  const auto legacy = Run(store, messages, arrivals, AggregatePlane::kLegacy,
+                          /*pool=*/nullptr, /*sample_threshold=*/40);
+  const auto partial =
+      Run(store, messages, arrivals, AggregatePlane::kPartialSum,
+          /*pool=*/nullptr, /*sample_threshold=*/40);
+  EXPECT_GT(legacy.history.size(), 1u);
+  EXPECT_GT(legacy.decode_failures, 0u);
+  EXPECT_GT(legacy.pending_clients, 0u);  // staged tail visible on both
+  ExpectIdentical(legacy, partial);
+}
+
+TEST_F(AggregationPartialSumTest, ParallelFlushMatchesLegacyBitForBit) {
+  // The pool path: per-lane partials accumulated by ParallelFor and merged
+  // ascending must publish the same bits as the serial legacy adds. More
+  // messages than the flush cap (256) so capacity flushes happen too.
+  BlobStore store;
+  std::vector<flow::Message> messages;
+  std::vector<SimTime> arrivals;
+  BuildAdversarialStream(store, 600, messages, arrivals);
+  ThreadPool pool(4);
+  const auto legacy = Run(store, messages, arrivals, AggregatePlane::kLegacy,
+                          /*pool=*/nullptr, /*sample_threshold=*/900);
+  const auto partial =
+      Run(store, messages, arrivals, AggregatePlane::kPartialSum, &pool,
+          /*sample_threshold=*/900);
+  EXPECT_GT(legacy.history.size(), 0u);
+  ExpectIdentical(legacy, partial);
+}
+
+TEST_F(AggregationPartialSumTest, MidRoundSnapshotRestoreContinuesIdentically) {
+  // Cut a snapshot while updates are staged (no flush yet), restore into a
+  // fresh partial-plane service, deliver the rest: the recovered run must
+  // publish the same bits as the uninterrupted legacy run.
+  BlobStore store;
+  std::vector<flow::Message> messages;
+  std::vector<SimTime> arrivals;
+  BuildAdversarialStream(store, 40, messages, arrivals);
+  const std::size_t cut = 17;
+  const std::vector<flow::Message> head(messages.begin(),
+                                        messages.begin() + cut);
+  const std::vector<flow::Message> tail(messages.begin() + cut,
+                                        messages.end());
+  const std::vector<SimTime> head_arrivals(arrivals.begin(),
+                                           arrivals.begin() + cut);
+  const std::vector<SimTime> tail_arrivals(arrivals.begin() + cut,
+                                           arrivals.end());
+
+  AggregationConfig config;
+  config.model_dim = kDim;
+  config.trigger = AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 500;  // nothing closes: all staged
+  config.aggregate_plane = AggregatePlane::kPartialSum;
+
+  AggregationService first(loop_, store, config);
+  DeliverDecoded(first, store, head, head_arrivals);
+  EXPECT_GT(first.pending_clients(), 0u);
+  const AggregationSnapshot snapshot = first.Snapshot();
+
+  AggregationService recovered(loop_, store, config);
+  recovered.RestoreSnapshot(snapshot);
+  EXPECT_EQ(recovered.pending_clients(), first.pending_clients());
+  DeliverDecoded(recovered, store, tail, tail_arrivals);
+  EXPECT_TRUE(recovered.AggregateNow());
+
+  AggregationConfig legacy_config = config;
+  legacy_config.aggregate_plane = AggregatePlane::kLegacy;
+  AggregationService uninterrupted(loop_, store, legacy_config);
+  DeliverDecoded(uninterrupted, store, messages, arrivals);
+  EXPECT_TRUE(uninterrupted.AggregateNow());
+
+  ExpectIdentical(Capture(uninterrupted), Capture(recovered));
+}
+
+TEST_F(AggregationPartialSumTest, QuorumAndAbortSeeStagedUpdates) {
+  // The deadline policy must read the combined (flushed + staged) totals:
+  // a quorum met purely by staged updates commits, and an abort discards
+  // the staged entries — identically on both planes.
+  for (const AggregatePlane plane :
+       {AggregatePlane::kPartialSum, AggregatePlane::kLegacy}) {
+    sim::EventLoop loop;
+    BlobStore store;
+    AggregationConfig config;
+    config.model_dim = kDim;
+    config.trigger = AggregationTrigger::kSampleThreshold;
+    config.sample_threshold = 1000000;  // rounds close only via deadline
+    config.aggregate_plane = plane;
+    config.round_quorum = 2;
+    config.round_deadline = Seconds(10.0);
+    config.max_round_extensions = 0;
+    AggregationService service(loop, store, config);
+    service.OnRoundOpened(0);
+    loop.ScheduleAt(Seconds(1.0), [&] {
+      DeliverDecoded(service, store,
+                     {Upload(store, 1.0f, 3, 1), Upload(store, 3.0f, 5, 2)},
+                     {Seconds(1.0), Seconds(1.0)});
+    });
+    loop.RunUntil(Seconds(11.0));
+    // Two staged clients met the quorum at the deadline: degraded commit.
+    ASSERT_EQ(service.rounds_completed(), 1u) << "plane "
+                                              << static_cast<int>(plane);
+    EXPECT_EQ(service.deadline_commits(), 1u);
+    EXPECT_EQ(service.history()[0].clients, 2u);
+    EXPECT_EQ(service.history()[0].samples, 8u);
+    EXPECT_EQ(service.pending_samples(), 0u);
+
+    // Next round: one staged update below quorum, no extensions -> abort
+    // discards the staged entry.
+    bool aborted = false;
+    service.set_on_round_aborted([&](SimTime) { aborted = true; });
+    service.OnRoundOpened(Seconds(11.0));
+    loop.ScheduleAt(Seconds(12.0), [&] {
+      DeliverDecoded(service, store, {Upload(store, 2.0f, 4, 3)},
+                     {Seconds(12.0)});
+    });
+    loop.RunUntil(Seconds(30.0));
+    EXPECT_TRUE(aborted);
+    EXPECT_EQ(service.aborted_rounds(), 1u);
+    EXPECT_EQ(service.rounds_completed(), 1u);
+    EXPECT_EQ(service.pending_samples(), 0u);
+    EXPECT_EQ(service.pending_clients(), 0u);
+  }
 }
 
 }  // namespace

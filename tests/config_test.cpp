@@ -324,6 +324,34 @@ TEST(ExecutionConfigTest, ParsesDecodePlane) {
   EXPECT_FALSE(LoadExecution(*junk).ok());
 }
 
+TEST(ExecutionConfigTest, ParsesAggregatePlane) {
+  auto partial = ParseIni("[execution]\naggregate_plane = partial_sum\n");
+  ASSERT_TRUE(partial.ok());
+  auto partial_config = LoadExecution(*partial);
+  ASSERT_TRUE(partial_config.ok());
+  EXPECT_EQ(partial_config->aggregate_plane, cloud::AggregatePlane::kPartialSum);
+
+  auto legacy =
+      ParseIni("[execution]\nshards = 4\naggregate_plane = legacy\n");
+  ASSERT_TRUE(legacy.ok());
+  auto legacy_config = LoadExecution(*legacy);
+  ASSERT_TRUE(legacy_config.ok());
+  EXPECT_EQ(legacy_config->aggregate_plane, cloud::AggregatePlane::kLegacy);
+  EXPECT_EQ(legacy_config->shards, 4u);
+
+  // Missing key keeps the partial_sum default; junk is rejected loudly.
+  auto missing = ParseIni("[execution]\nparallelism = 2\n");
+  ASSERT_TRUE(missing.ok());
+  auto missing_config = LoadExecution(*missing);
+  ASSERT_TRUE(missing_config.ok());
+  EXPECT_EQ(missing_config->aggregate_plane,
+            cloud::AggregatePlane::kPartialSum);
+
+  auto junk = ParseIni("[execution]\naggregate_plane = serial\n");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(LoadExecution(*junk).ok());
+}
+
 TEST(ExecutionConfigTest, ParsesPayloadCodec) {
   auto fp16 = ParseIni("[execution]\npayload_codec = fp16\n");
   ASSERT_TRUE(fp16.ok());

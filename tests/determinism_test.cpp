@@ -338,6 +338,43 @@ TEST(ShardedDeterminismTest, DecodedPlaneBitIdenticalToLegacyAtAllWidths) {
   }
 }
 
+TEST(ShardedDeterminismTest, PartialSumPlaneBitIdenticalToLegacyAtAllWidths) {
+  // The partial-sum aggregation plane stages decoded updates and
+  // accumulates them into per-lane partial aggregators on the worker pool,
+  // merged in fixed ascending order. Against aggregate_plane = legacy
+  // (inline serial adds), every bit of the run must be identical at every
+  // shard width — the FedAvg cascade is order-invariant, so regrouping the
+  // weighted sum is invisible. reject_stale + a sample threshold makes the
+  // admission order observable (a mid-batch round close changes later
+  // staleness verdicts), pinning the staged trigger point too.
+  const auto dataset = Dataset();
+  auto config = ShardableConfig();
+  config.trigger = cloud::AggregationTrigger::kSampleThreshold;
+  config.sample_threshold = 400;
+  config.reject_stale = true;
+  config.decode_plane = flow::DecodePlane::kDecoded;
+
+  auto legacy_config = config;
+  legacy_config.aggregate_plane = cloud::AggregatePlane::kLegacy;
+  const auto reference = RunShardedWith(dataset, legacy_config, 1);
+  ASSERT_EQ(reference.result.rounds.size(), 3u);
+  EXPECT_GT(reference.result.messages_dropped, 0u);
+  EXPECT_GT(reference.stale_rejections, 0u);
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    auto partial_config = config;
+    partial_config.aggregate_plane = cloud::AggregatePlane::kPartialSum;
+    const auto partial = RunShardedWith(dataset, partial_config, shards);
+    ExpectIdentical(reference.result, partial.result, shards);
+    ExpectStatsIdentical(reference.stats, partial.stats, shards);
+    ExpectCountersIdentical(reference, partial, shards);
+    // And the legacy aggregate plane stays self-consistent at this width.
+    const auto legacy = RunShardedWith(dataset, legacy_config, shards);
+    ExpectIdentical(reference.result, legacy.result, shards);
+    ExpectCountersIdentical(reference, legacy, shards);
+  }
+}
+
 // ---------- Decode-failure accounting parity (flow-level harness) ----------
 
 /// Outcome of pushing a hand-built message stream — valid, corrupt-blob,

@@ -339,7 +339,16 @@ persist::CheckpointState SampleState() {
   state.aggregation.model_dim = 4;
   state.aggregation.global_weights = {0.5f, -1.25f, 0.0f, 3.75f};
   state.aggregation.global_bias = -0.125f;
-  state.aggregation.accumulator = {0.0, 0.0, 0.0, 0.0};
+  // Mid-round cascade state: non-zero compensation planes so the v3
+  // round-trip covers all three accumulator planes bit-exactly.
+  state.aggregation.accumulator = {1.5, -2.25, 0.0, 8.125};
+  state.aggregation.accumulator_c1 = {1e-17, 0.0, -3e-18, 2e-20};
+  state.aggregation.accumulator_c2 = {0.0, 1e-33, 0.0, -4e-35};
+  state.aggregation.bias_accumulator = 0.75;
+  state.aggregation.bias_accumulator_c1 = -5e-19;
+  state.aggregation.bias_accumulator_c2 = 7e-36;
+  state.aggregation.accumulator_samples = 12;
+  state.aggregation.accumulator_clients = 3;
   cloud::AggregationRecord record;
   record.round = 1;
   record.time = Seconds(60.0);
@@ -383,6 +392,21 @@ TEST(CheckpointTest, SerializeDeserializeRoundTrips) {
   EXPECT_EQ(decoded->aggregation.global_weights,
             state.aggregation.global_weights);
   EXPECT_EQ(decoded->aggregation.global_bias, state.aggregation.global_bias);
+  EXPECT_EQ(decoded->aggregation.accumulator, state.aggregation.accumulator);
+  EXPECT_EQ(decoded->aggregation.accumulator_c1,
+            state.aggregation.accumulator_c1);
+  EXPECT_EQ(decoded->aggregation.accumulator_c2,
+            state.aggregation.accumulator_c2);
+  EXPECT_EQ(decoded->aggregation.bias_accumulator,
+            state.aggregation.bias_accumulator);
+  EXPECT_EQ(decoded->aggregation.bias_accumulator_c1,
+            state.aggregation.bias_accumulator_c1);
+  EXPECT_EQ(decoded->aggregation.bias_accumulator_c2,
+            state.aggregation.bias_accumulator_c2);
+  EXPECT_EQ(decoded->aggregation.accumulator_samples,
+            state.aggregation.accumulator_samples);
+  EXPECT_EQ(decoded->aggregation.accumulator_clients,
+            state.aggregation.accumulator_clients);
   ASSERT_EQ(decoded->aggregation.history.size(), 1u);
   EXPECT_EQ(decoded->aggregation.history[0].model_blob, BlobId(25));
   ASSERT_EQ(decoded->rounds.size(), 1u);
@@ -707,31 +731,50 @@ TEST(DurableRecoveryMatrixTest, AllShardWidthsAndCodecsRecoverBitIdentical) {
     for (const ml::PayloadCodec codec :
          {ml::PayloadCodec::kFp32, ml::PayloadCodec::kFp16,
           ml::PayloadCodec::kInt8}) {
-      const std::string label = "width=" + std::to_string(width) + " codec=" +
-                                std::string(ml::ToString(codec));
-      SCOPED_TRACE(label);
-      FlExperimentConfig base = BaseConfig();
-      base.shards = width;
-      base.payload_codec = codec;
-      const RunOutcome reference = RunToCompletion(dataset, base);
-      ASSERT_EQ(reference.result.rounds.size(), 3u);
+      // The aggregate-plane axis: both planes must produce the same bits
+      // as each other (order-invariant cascade) AND recover bit-identically
+      // through a mid-experiment crash.
+      const RunOutcome* cross_plane_reference = nullptr;
+      RunOutcome first_plane_outcome;
+      for (const cloud::AggregatePlane plane :
+           {cloud::AggregatePlane::kPartialSum,
+            cloud::AggregatePlane::kLegacy}) {
+        const std::string label =
+            "width=" + std::to_string(width) + " codec=" +
+            std::string(ml::ToString(codec)) + " plane=" +
+            (plane == cloud::AggregatePlane::kPartialSum ? "partial_sum"
+                                                         : "legacy");
+        SCOPED_TRACE(label);
+        FlExperimentConfig base = BaseConfig();
+        base.shards = width;
+        base.payload_codec = codec;
+        base.aggregate_plane = plane;
+        const RunOutcome reference = RunToCompletion(dataset, base);
+        ASSERT_EQ(reference.result.rounds.size(), 3u);
+        if (cross_plane_reference == nullptr) {
+          first_plane_outcome = reference;
+          cross_plane_reference = &first_plane_outcome;
+        } else {
+          ExpectOutcomeIdentical(*cross_plane_reference, reference, label);
+        }
 
-      const std::string dir = FreshDir(label);
-      FaultPlan plan;
-      plan.seed = width * 100 + static_cast<std::uint64_t>(codec);
-      plan.crash_on_append = 4;  // mid-experiment commit
-      FaultInjector faulty(plan);
-      FlExperimentConfig crash_config = base;
-      crash_config.durability.mode = DurabilityMode::kLogCheckpoint;
-      crash_config.durability.dir = dir;
-      crash_config.durability.io = &faulty;
-      ASSERT_TRUE(CrashRun(dataset, crash_config)) << "plan never fired";
+        const std::string dir = FreshDir(label);
+        FaultPlan plan;
+        plan.seed = width * 100 + static_cast<std::uint64_t>(codec);
+        plan.crash_on_append = 4;  // mid-experiment commit
+        FaultInjector faulty(plan);
+        FlExperimentConfig crash_config = base;
+        crash_config.durability.mode = DurabilityMode::kLogCheckpoint;
+        crash_config.durability.dir = dir;
+        crash_config.durability.io = &faulty;
+        ASSERT_TRUE(CrashRun(dataset, crash_config)) << "plan never fired";
 
-      FlExperimentConfig resume_config = base;
-      resume_config.durability.mode = DurabilityMode::kLogCheckpoint;
-      resume_config.durability.dir = dir;
-      const RunOutcome recovered = RecoverOrRerun(dataset, resume_config);
-      ExpectOutcomeIdentical(reference, recovered, label);
+        FlExperimentConfig resume_config = base;
+        resume_config.durability.mode = DurabilityMode::kLogCheckpoint;
+        resume_config.durability.dir = dir;
+        const RunOutcome recovered = RecoverOrRerun(dataset, resume_config);
+        ExpectOutcomeIdentical(reference, recovered, label);
+      }
     }
   }
 }

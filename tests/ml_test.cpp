@@ -680,5 +680,184 @@ TEST(FedAvgTest, AverageOfIdenticalModelsIsUnchanged) {
   EXPECT_NEAR(avg->DistanceTo(m), 0.0, 1e-5);
 }
 
+TEST(FedAvgTest, OneShotRejectsZeroSamplesAndDimMismatch) {
+  // The one-shot helper surfaces the per-update validation errors.
+  std::vector<ClientUpdate> zero_samples;
+  zero_samples.push_back({LrModel(4), 0, 1});
+  EXPECT_FALSE(FedAvg(zero_samples).ok());
+
+  std::vector<ClientUpdate> mismatched;
+  mismatched.push_back({LrModel(4), 2, 1});
+  mismatched.push_back({LrModel(8), 2, 2});
+  EXPECT_FALSE(FedAvg(mismatched).ok());
+}
+
+// Adversarial mix of magnitudes and sample weights for the invariance
+// tests: large cancelling values next to tiny ones is the worst case for a
+// reordered floating-point sum.
+std::vector<ClientUpdate> AdversarialUpdates(std::size_t count,
+                                             std::uint32_t dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ClientUpdate> updates;
+  for (std::size_t k = 0; k < count; ++k) {
+    ClientUpdate u{LrModel(dim), 1 + static_cast<std::size_t>(rng() % 997),
+                   static_cast<std::uint64_t>(k)};
+    for (std::uint32_t i = 0; i < dim; ++i) {
+      const double magnitude = std::pow(10.0, static_cast<double>(
+                                                  rng() % 13) -
+                                                  6.0);
+      const double sign = (rng() & 1) ? 1.0 : -1.0;
+      u.model.weights()[i] = static_cast<float>(sign * magnitude);
+    }
+    u.model.bias() = static_cast<float>(static_cast<double>(rng() % 2000) -
+                                        1000.0);
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+std::vector<float> AggregateBits(const LrModel& model) {
+  std::vector<float> bits(model.weights().begin(), model.weights().end());
+  bits.push_back(model.bias());
+  return bits;
+}
+
+TEST(FedAvgTest, AggregateIsOrderInvariantUnderShuffle) {
+  // Bit-identical published models no matter the Add order: the cascade's
+  // invariance window (~2^-99 relative) sits far below the final
+  // double->float rounding. 20 adversarial shuffles, dim 64, 160 updates.
+  auto updates = AdversarialUpdates(160, 64, 0xF00D);
+  FedAvgAggregator reference(64);
+  for (const auto& u : updates) {
+    ASSERT_TRUE(reference.Add(u.model, u.sample_count).ok());
+  }
+  auto ref_model = reference.Aggregate();
+  ASSERT_TRUE(ref_model.ok());
+  const auto ref_bits = AggregateBits(*ref_model);
+
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.Shuffle(updates);
+    FedAvgAggregator shuffled(64);
+    for (const auto& u : updates) {
+      ASSERT_TRUE(shuffled.Add(u.model, u.sample_count).ok());
+    }
+    auto model = shuffled.Aggregate();
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(AggregateBits(*model), ref_bits) << "shuffle trial " << trial;
+  }
+}
+
+TEST(FedAvgTest, MergeFromMatchesSerialBitForBit) {
+  // Shard-split invariance: partition the updates into k partial
+  // aggregators, merge ascending, compare to the flat serial sum — the
+  // exact reduction the partial-sum plane runs. Every split width the
+  // plane supports plus an uneven one.
+  const auto updates = AdversarialUpdates(96, 32, 0xCAFE);
+  FedAvgAggregator reference(32);
+  for (const auto& u : updates) {
+    ASSERT_TRUE(reference.Add(u.model, u.sample_count).ok());
+  }
+  auto ref_model = reference.Aggregate();
+  ASSERT_TRUE(ref_model.ok());
+  const auto ref_bits = AggregateBits(*ref_model);
+
+  for (const std::size_t shards : {2u, 3u, 4u, 8u}) {
+    std::vector<FedAvgAggregator> partials;
+    for (std::size_t s = 0; s < shards; ++s) partials.emplace_back(32);
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      ASSERT_TRUE(partials[k % shards]
+                      .Add(updates[k].model, updates[k].sample_count)
+                      .ok());
+    }
+    FedAvgAggregator merged(32);
+    for (const auto& partial : partials) merged.MergeFrom(partial);
+    EXPECT_EQ(merged.clients(), reference.clients());
+    EXPECT_EQ(merged.total_samples(), reference.total_samples());
+    auto model = merged.Aggregate();
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(AggregateBits(*model), ref_bits) << shards << " shards";
+  }
+}
+
+TEST(FedAvgTest, RestoreRoundTripsCascadeStateBitExactly) {
+  // The checkpoint seam: accessor -> Restore must reproduce the aggregator
+  // exactly, including both compensation planes, so a recovered run
+  // publishes the same bits.
+  const auto updates = AdversarialUpdates(40, 16, 0xD00F);
+  FedAvgAggregator original(16);
+  for (const auto& u : updates) {
+    ASSERT_TRUE(original.Add(u.model, u.sample_count).ok());
+  }
+
+  FedAvgAggregator restored(16);
+  restored.Restore(original.accumulator(), original.compensation1(),
+                   original.compensation2(), original.bias_accumulator(),
+                   original.bias_compensation1(),
+                   original.bias_compensation2(), original.total_samples(),
+                   original.clients());
+  EXPECT_EQ(restored.clients(), original.clients());
+  EXPECT_EQ(restored.total_samples(), original.total_samples());
+
+  // Keep adding to both after the restore: identical trajectories.
+  const auto more = AdversarialUpdates(17, 16, 0xFEED);
+  FedAvgAggregator cont = std::move(restored);
+  for (const auto& u : more) {
+    ASSERT_TRUE(original.Add(u.model, u.sample_count).ok());
+    ASSERT_TRUE(cont.Add(u.model, u.sample_count).ok());
+  }
+  auto a = original.Aggregate();
+  auto b = cont.Aggregate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(AggregateBits(*a), AggregateBits(*b));
+
+  // Reset drops everything, including the restored planes.
+  cont.Reset();
+  EXPECT_EQ(cont.clients(), 0u);
+  EXPECT_EQ(cont.total_samples(), 0u);
+  EXPECT_FALSE(cont.Aggregate().ok());
+  for (const double v : cont.accumulator()) EXPECT_EQ(v, 0.0);
+  for (const double v : cont.compensation1()) EXPECT_EQ(v, 0.0);
+  for (const double v : cont.compensation2()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FedAvgKernelTest, RestrictKernelMatchesScalarReferenceBitForBit) {
+  // fedavg_add_simd (CascadeAdd) vs fedavg_add_scalar (CascadeAddScalar):
+  // same cascade, different loop qualification — every output bit equal.
+  Rng rng(0xAB5E);
+  const std::size_t n = 1024;
+  std::vector<float> weights(n);
+  for (auto& w : weights) {
+    w = static_cast<float>(static_cast<double>(rng() % 100000) / 7.0 -
+                           7000.0);
+  }
+  std::vector<double> sum_a(n, 0.0), c1_a(n, 0.0), c2_a(n, 0.0);
+  std::vector<double> sum_b(n, 0.0), c1_b(n, 0.0), c2_b(n, 0.0);
+  for (int pass = 0; pass < 5; ++pass) {
+    const double scale = static_cast<double>(1 + rng() % 997);
+    kernels::CascadeAddScalar(weights, scale, sum_a, c1_a, c2_a);
+    kernels::CascadeAdd(weights.data(), n, scale, sum_b.data(), c1_b.data(),
+                        c2_b.data());
+    EXPECT_EQ(sum_a, sum_b) << "pass " << pass;
+    EXPECT_EQ(c1_a, c1_b) << "pass " << pass;
+    EXPECT_EQ(c2_a, c2_b) << "pass " << pass;
+  }
+}
+
+TEST(FedAvgKernelTest, CascadeTracksExactSumOfCancellingTerms) {
+  // 1e16 and ±1 terms: a naive double sum loses the ±1s entirely; the
+  // cascade's represented value keeps them.
+  std::vector<double> sum(1, 0.0), c1(1, 0.0), c2(1, 0.0);
+  std::vector<float> big{1.0f};
+  kernels::CascadeAddScalar(big, 1e16, sum, c1, c2);
+  for (int i = 0; i < 1000; ++i) {
+    kernels::CascadeAddScalar(big, 1.0, sum, c1, c2);
+  }
+  kernels::CascadeAddScalar(big, -1e16, sum, c1, c2);
+  EXPECT_EQ(kernels::CascadeValue(sum[0], c1[0], c2[0]), 1000.0);
+}
+
 }  // namespace
 }  // namespace simdc::ml
